@@ -1,0 +1,81 @@
+"""E7 bench — per-packet costs across APNA and the baselines (Section IX)."""
+
+import pytest
+
+from repro.baselines import (
+    AipHost,
+    ApipDelegate,
+    ApipSender,
+    ApipVerifier,
+    PlainIpRouter,
+    RoutingTable,
+)
+from repro.core.border_router import Action
+from repro.crypto.rng import DeterministicRng
+from repro.experiments import e7_baselines
+from repro.wire.apna import ApnaPacket
+from repro.workload.packets import build_apna_pool, build_ipv4_pool
+
+
+def test_apna_accountability_check(benchmark, bench_world):
+    pool = build_apna_pool(
+        bench_world.as_a, bench_world.hosts_a, size=256, count=64, dst_aid=200
+    )
+    br = bench_world.as_a.br
+    frames = pool.wire_frames
+    state = {"i": 0}
+
+    def check():
+        packet = ApnaPacket.from_wire(frames[state["i"] % len(frames)])
+        state["i"] += 1
+        assert br.process_outgoing(packet).action is Action.FORWARD_INTER
+
+    benchmark(check)
+
+
+def test_apip_brief_and_verify(benchmark):
+    delegate = ApipDelegate(addr=1)
+    sender = ApipSender(1, delegate, return_addr=2)
+    verifier = ApipVerifier(delegate)
+    state = {"i": 0}
+
+    def brief_verify():
+        packet = sender.send(dst_addr=9, flow_id=state["i"], payload=b"x" * 200)
+        state["i"] += 1
+        assert verifier.process(packet)
+
+    benchmark(brief_verify)
+    benchmark.extra_info["third_party_msgs_per_packet"] = 1
+
+
+def test_aip_self_certifying_verify(benchmark):
+    rng = DeterministicRng(9)
+    a, b = AipHost(1, rng), AipHost(2, rng)
+    packet = a.send(b, b"z" * 200)
+    benchmark(b.verify_source, packet, a.public_key)
+
+
+def test_plain_ipv4_forward(benchmark):
+    routes = RoutingTable()
+    routes.add(0, 0, "up")
+    router = PlainIpRouter(routes)
+    frames = build_ipv4_pool(size=256, count=64).wire_frames
+    state = {"i": 0}
+
+    def forward():
+        router.process(frames[state["i"] % len(frames)])
+        state["i"] += 1
+
+    benchmark(forward)
+
+
+def test_e7_claims_shape(benchmark):
+    """APIP's whitelisting hole and Persona's demux failure, as measured."""
+    result = benchmark.pedantic(
+        lambda: e7_baselines.run(count=100, quiet=True), rounds=1, iterations=1
+    )
+    benchmark.extra_info["apip_hole_packets"] = result.apip_hole_packets
+    benchmark.extra_info["persona_demux_accuracy"] = round(
+        result.persona_demux_accuracy, 3
+    )
+    assert result.claims_hold

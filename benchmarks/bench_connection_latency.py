@@ -1,0 +1,58 @@
+"""E4 bench — connection-establishment latency (paper Section VII-C).
+
+Latency here is *virtual* (simulated RTTs); the benchmark times the
+simulation run while the RTT-unit results land in extra_info, checked
+against the paper's 1/0 (host-host) and 1.5/0.5/0 (client-server) RTTs.
+"""
+
+from repro.experiments import e4_latency
+
+
+def test_host_host_establishment(benchmark):
+    def scenario():
+        return e4_latency._host_host(early=False)
+
+    ttfb = benchmark.pedantic(scenario, rounds=3, iterations=1)
+    benchmark.extra_info["ttfb_rtt"] = round(ttfb, 3)
+    benchmark.extra_info["paper_wait_rtt"] = 1.0
+    assert abs((ttfb - 0.5) - 1.0) < 0.25
+
+
+def test_host_host_zero_rtt(benchmark):
+    def scenario():
+        return e4_latency._host_host(early=True)
+
+    ttfb = benchmark.pedantic(scenario, rounds=3, iterations=1)
+    benchmark.extra_info["ttfb_rtt"] = round(ttfb, 3)
+    benchmark.extra_info["paper_wait_rtt"] = 0.0
+    assert abs(ttfb - 0.5) < 0.25
+
+
+def test_client_server_full(benchmark):
+    def scenario():
+        return e4_latency._client_server("after-accept")
+
+    ttfb = benchmark.pedantic(scenario, rounds=3, iterations=1)
+    benchmark.extra_info["ttfb_rtt"] = round(ttfb, 3)
+    benchmark.extra_info["paper_ttfb_rtt"] = 1.5
+    assert abs(ttfb - 1.5) < 0.25
+
+
+def test_client_server_half_rtt(benchmark):
+    def scenario():
+        return e4_latency._client_server("half-rtt")
+
+    ttfb = benchmark.pedantic(scenario, rounds=3, iterations=1)
+    benchmark.extra_info["ttfb_rtt"] = round(ttfb, 3)
+    benchmark.extra_info["paper_wait_rtt"] = 0.5
+    assert abs((ttfb - 0.5) - 0.5) < 0.25
+
+
+def test_client_server_zero_rtt(benchmark):
+    def scenario():
+        return e4_latency._client_server("0rtt")
+
+    ttfb = benchmark.pedantic(scenario, rounds=3, iterations=1)
+    benchmark.extra_info["ttfb_rtt"] = round(ttfb, 3)
+    benchmark.extra_info["paper_wait_rtt"] = 0.0
+    assert abs(ttfb - 0.5) < 0.25

@@ -1,0 +1,69 @@
+"""E9 bench — crypto micro-costs underlying every paper number.
+
+The paper's performance rests on AES-NI (EphID ops, packet MACs) and
+ed25519 REF10 (certificates).  These micro-benchmarks expose where the
+pure-Python reproduction pays, and ablate the data-plane AEAD choice
+(GCM, the paper's cited mode, vs the default Encrypt-then-MAC).
+"""
+
+import pytest
+
+from repro.crypto import AES, Cmac, ed25519, x25519
+from repro.crypto.aead import EtmScheme, GcmScheme
+from repro.crypto.kdf import hkdf
+
+KEY16 = bytes(range(16))
+KEY32 = bytes(range(32))
+
+
+def test_aes_block_encrypt(benchmark):
+    cipher = AES(KEY16)
+    benchmark(cipher.encrypt_block, bytes(16))
+
+
+def test_cmac_64_byte_packet(benchmark):
+    mac = Cmac(KEY16)
+    benchmark(mac.tag, bytes(64), 8)
+
+
+def test_cmac_1518_byte_packet(benchmark):
+    mac = Cmac(KEY16)
+    benchmark(mac.tag, bytes(1518), 8)
+
+
+@pytest.mark.parametrize("scheme_cls", [EtmScheme, GcmScheme], ids=["etm", "gcm"])
+def test_aead_seal_512(benchmark, scheme_cls):
+    """The data-plane ablation: EtM vs GCM on a 512-byte payload."""
+    scheme = scheme_cls(KEY32)
+    nonce = bytes(12)
+    benchmark(scheme.seal, nonce, bytes(512))
+
+
+@pytest.mark.parametrize("scheme_cls", [EtmScheme, GcmScheme], ids=["etm", "gcm"])
+def test_aead_open_512(benchmark, scheme_cls):
+    scheme = scheme_cls(KEY32)
+    nonce = bytes(12)
+    sealed = scheme.seal(nonce, bytes(512))
+    benchmark(scheme.open, nonce, sealed)
+
+
+def test_x25519_shared_secret(benchmark):
+    """The per-session ECDH (connection establishment)."""
+    peer = x25519.public_key(b"\x01" * 32)
+    benchmark(x25519.shared_secret, b"\x02" * 32, peer)
+
+
+def test_ed25519_sign(benchmark):
+    """Certificate issuance cost at the MS."""
+    benchmark(ed25519.sign, bytes(32), b"certificate tbs bytes")
+
+
+def test_ed25519_verify(benchmark):
+    """Certificate verification cost at hosts and the AA."""
+    public = ed25519.public_key(bytes(32))
+    signature = ed25519.sign(bytes(32), b"certificate tbs bytes")
+    benchmark(ed25519.verify, public, b"certificate tbs bytes", signature)
+
+
+def test_hkdf_session_key(benchmark):
+    benchmark(hkdf, bytes(32), info=b"apna-session-v1:" + bytes(32), length=32)

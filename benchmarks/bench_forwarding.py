@@ -1,0 +1,100 @@
+"""E2/E3 bench — border-router forwarding at the Fig. 8 packet sizes.
+
+Paper: line-rate forwarding (120 Gbps testbed) at every size; the APNA
+checks add no penalty.  Here each size is a separate benchmark so the
+pps-vs-size series of Fig. 8(a) falls out of the benchmark table, and
+the calibrated-capacity verdict is attached as extra_info.
+"""
+
+import pytest
+
+from repro.baselines.plain_ip import PlainIpRouter, RoutingTable
+from repro.core.border_router import Action
+from repro.wire import gre
+from repro.wire.apna import ApnaPacket
+from repro.workload.packets import PAPER_PACKET_SIZES, build_apna_pool, build_ipv4_pool
+
+
+@pytest.fixture(scope="module")
+def pools(bench_world):
+    return {
+        size: build_apna_pool(
+            bench_world.as_a, bench_world.hosts_a, size=size, count=64, dst_aid=200
+        )
+        for size in PAPER_PACKET_SIZES
+    }
+
+
+@pytest.mark.parametrize("size", PAPER_PACKET_SIZES)
+def test_apna_egress_pipeline(benchmark, bench_world, pools, size):
+    """Fig. 8(a): full egress path (parse + Fig. 4 checks + GRE encap)."""
+    br = bench_world.as_a.br
+    frames = pools[size].wire_frames
+    state = {"i": 0}
+
+    def forward_one():
+        frame = frames[state["i"] % len(frames)]
+        state["i"] += 1
+        packet = ApnaPacket.from_wire(frame)
+        verdict = br.process_outgoing(packet)
+        assert verdict.action is Action.FORWARD_INTER
+        gre.encapsulate(frame, src_ip=100, dst_ip=verdict.next_aid)
+
+    benchmark(forward_one)
+    benchmark.extra_info["packet_size"] = size
+    benchmark.extra_info["paper_result"] = "line-rate at every size"
+
+
+@pytest.mark.parametrize("size", PAPER_PACKET_SIZES)
+def test_apna_ingress_pipeline(benchmark, bench_world, pools, size):
+    """Fig. 4 top: destination-side checks (EphID decode + validity)."""
+    # Packets destined to AS 100 hosts: reuse egress pool reversed.
+    br = bench_world.as_a.br
+    reversed_packets = []
+    for packet in pools[size].apna_packets[:32]:
+        header = packet.header.reversed()
+        reversed_packets.append(ApnaPacket(header, packet.payload))
+    state = {"i": 0}
+
+    def deliver_one():
+        packet = reversed_packets[state["i"] % len(reversed_packets)]
+        state["i"] += 1
+        verdict = br.process_incoming(packet)
+        assert verdict.action is Action.FORWARD_INTRA
+
+    benchmark(deliver_one)
+    benchmark.extra_info["packet_size"] = size
+
+
+@pytest.mark.parametrize("size", PAPER_PACKET_SIZES)
+def test_plain_ipv4_baseline(benchmark, size):
+    """The 'theoretical maximum' software comparator."""
+    routes = RoutingTable()
+    routes.add(0, 0, "up")
+    router = PlainIpRouter(routes)
+    frames = build_ipv4_pool(size=size, count=64).wire_frames
+    state = {"i": 0}
+
+    def forward_one():
+        router.process(frames[state["i"] % len(frames)])
+        state["i"] += 1
+
+    benchmark(forward_one)
+    benchmark.extra_info["packet_size"] = size
+
+
+def test_transit_forwarding(benchmark, bench_world, pools):
+    """Transit ASes forward by AID only — no crypto (Section IV-D3)."""
+    br = bench_world.as_b.br  # not the destination for dst_aid=65000 packets
+    pool = build_apna_pool(
+        bench_world.as_a, bench_world.hosts_a, size=256, count=64, dst_aid=65000
+    )
+    packets = pool.apna_packets
+    state = {"i": 0}
+
+    def transit_one():
+        verdict = br.process_incoming(packets[state["i"] % len(packets)])
+        state["i"] += 1
+        assert verdict.action is Action.FORWARD_INTER
+
+    benchmark(transit_one)

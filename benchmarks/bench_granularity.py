@@ -1,0 +1,48 @@
+"""E5 bench — EphID granularity policies (paper Section VIII-A).
+
+Times the per-packet source-EphID decision under each policy and attaches
+the E5 trade-off metrics (MS load, linkability, blast radius).
+"""
+
+import pytest
+
+from repro.core.granularity import FlowKey, make_policy
+from repro.experiments import e5_granularity
+
+POLICIES = ("per-host", "per-application", "per-flow", "per-packet")
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_policy_decision_cost(benchmark, bench_world, bench_host, policy_name):
+    policy = make_policy(
+        policy_name,
+        lambda flags, lifetime: bench_host.acquire_ephid_direct(flags, lifetime),
+        bench_world.network.scheduler.clock(),
+    )
+    flows = [FlowKey(200, bytes([i]) * 16, 5000 + i, 443) for i in range(8)]
+    state = {"i": 0}
+
+    def decide():
+        flow = flows[state["i"] % len(flows)]
+        state["i"] += 1
+        policy.ephid_for(flow=flow, app=f"app-{state['i'] % 3}")
+
+    benchmark(decide)
+    benchmark.extra_info["policy"] = policy_name
+    benchmark.extra_info["ms_requests_for_8_flows"] = policy.requests_made
+
+
+def test_granularity_tradeoff_shape(benchmark):
+    """The full E5 ablation as a single benchmark (shape assertion)."""
+    result = benchmark.pedantic(
+        lambda: e5_granularity.run(flows=8, packets_per_flow=3, quiet=True),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["ordering_holds"] = result.ordering_holds
+    for point in result.points:
+        benchmark.extra_info[point.policy] = (
+            f"requests={point.ms_requests} linkage={point.linkage_score:.2f} "
+            f"blast={point.blast_radius_flows}"
+        )
+    assert result.ordering_holds

@@ -1,0 +1,51 @@
+"""E8 bench — header processing and goodput overhead (Fig. 7, VII-D)."""
+
+import pytest
+
+from repro.experiments import e8_overhead
+from repro.wire import gre
+from repro.wire.apna import ApnaHeader, ApnaPacket
+from repro.workload.packets import PAPER_PACKET_SIZES
+
+
+def _packet(payload_size: int) -> ApnaPacket:
+    header = ApnaHeader(
+        src_aid=100,
+        src_ephid=bytes(range(16)),
+        dst_ephid=bytes(range(16, 32)),
+        dst_aid=200,
+        mac=b"\xaa" * 8,
+    )
+    return ApnaPacket(header, bytes(payload_size))
+
+
+def test_header_pack(benchmark):
+    packet = _packet(208)
+    benchmark(packet.to_wire)
+
+
+def test_header_parse(benchmark):
+    wire = _packet(208).to_wire()
+    benchmark(ApnaPacket.from_wire, wire)
+
+
+def test_gre_encapsulation(benchmark):
+    wire = _packet(208).to_wire()
+    benchmark(gre.encapsulate, wire, 100, 200)
+
+
+def test_gre_decapsulation(benchmark):
+    wire = gre.encapsulate(_packet(208).to_wire(), 100, 200)
+    benchmark(gre.decapsulate, wire)
+
+
+def test_e8_goodput_shape(benchmark):
+    """Deployed goodput exceeds 90% at MTU-sized packets."""
+    result = benchmark.pedantic(
+        lambda: e8_overhead.run(quiet=True), rounds=1, iterations=1
+    )
+    for point in result.points:
+        benchmark.extra_info[f"goodput_{point.size}B"] = (
+            f"{100 * point.apna_deployed_goodput:.1f}%"
+        )
+    assert result.overhead_acceptable

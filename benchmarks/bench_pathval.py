@@ -1,0 +1,111 @@
+"""E11 bench — path-validation cost (paper Section VIII-C ablation).
+
+The strengthened shutoff needs Passport stamps on the data path; these
+benchmarks quantify what the combination costs per packet: stamping at
+the source AS (scales with path length), per-hop verification (constant)
+and the OPT chain for endpoint-verifiable paths.
+"""
+
+import pytest
+
+from repro.experiments.e11_pathval import build_chain
+from repro.pathval import (
+    AsPairwiseKeys,
+    OnPathShutoffRequest,
+    OptSession,
+    PassportStamper,
+    PassportVerifier,
+    upgrade_to_onpath,
+)
+from repro.wire.apna import Endpoint
+
+
+@pytest.fixture(scope="module")
+def chain_world():
+    network, rpki, ases = build_chain(8, seed=1101)
+    alice = ases[0].attach_host("alice")
+    bob = ases[-1].attach_host("bob")
+    alice.bootstrap()
+    bob.bootstrap()
+    network.compute_routes()
+    owned = alice.acquire_ephid_direct()
+    peer = bob.acquire_ephid_direct()
+    packet = alice.stack.make_packet(
+        owned.ephid, Endpoint(ases[-1].aid, peer.ephid), b"x" * 512
+    )
+    return {
+        "rpki": rpki,
+        "ases": ases,
+        "alice": alice,
+        "bob": bob,
+        "owned": owned,
+        "peer": peer,
+        "packet": packet,
+    }
+
+
+@pytest.mark.parametrize("path_length", [2, 4, 8])
+def test_passport_stamp(benchmark, chain_world, path_length):
+    """Source-AS stamping: one CMAC per downstream AS."""
+    ases = chain_world["ases"]
+    source = ases[0]
+    downstream = [a.aid for a in ases[1:path_length]]
+    stamper = PassportStamper(
+        AsPairwiseKeys(source.aid, source.keys.exchange, chain_world["rpki"])
+    )
+    packet = chain_world["packet"]
+    stamper.stamp(packet, downstream)  # warm the pairwise-key cache
+
+    benchmark(stamper.stamp, packet, downstream)
+    benchmark.extra_info["path_length"] = path_length
+    benchmark.extra_info["expected_shape"] = "cost ~ path length"
+
+
+def test_passport_verify(benchmark, chain_world):
+    """Per-hop verification: one CMAC regardless of path length."""
+    ases = chain_world["ases"]
+    source, transit = ases[0], ases[1]
+    stamper = PassportStamper(
+        AsPairwiseKeys(source.aid, source.keys.exchange, chain_world["rpki"])
+    )
+    verifier = PassportVerifier(
+        AsPairwiseKeys(transit.aid, transit.keys.exchange, chain_world["rpki"])
+    )
+    packet = chain_world["packet"]
+    passport = stamper.stamp(packet, [a.aid for a in ases[1:]])
+    assert verifier.verify(packet, passport)
+
+    benchmark(verifier.verify, packet, passport)
+
+
+@pytest.mark.parametrize("path_length", [2, 4, 8])
+def test_opt_full_chain(benchmark, chain_world, path_length):
+    """OPT endpoint validation: recompute the whole PVF chain."""
+    ases = chain_world["ases"][:path_length]
+    session = OptSession.for_endpoints(
+        bytes(16), [a.keys.secret.master for a in ases]
+    )
+    packet = chain_world["packet"]
+    pvf = session.traverse(packet)
+
+    benchmark(session.validate, packet, pvf)
+    benchmark.extra_info["path_length"] = path_length
+
+
+def test_onpath_shutoff_handling(benchmark, chain_world):
+    """The control-plane cost of one on-path shutoff (Ed25519-bound)."""
+    ases = chain_world["ases"]
+    source, transit = ases[0], ases[1]
+    agent = upgrade_to_onpath(source)
+    stamper = PassportStamper(
+        AsPairwiseKeys(source.aid, source.keys.exchange, chain_world["rpki"])
+    )
+    packet = chain_world["packet"]
+    stamp = stamper.restamp_mac(packet, transit.aid)
+    request = OnPathShutoffRequest.build(
+        packet.to_wire(), transit.aid, stamp, transit.keys.signing
+    )
+    assert agent.handle_onpath_shutoff(request).accepted
+
+    benchmark(agent.handle_onpath_shutoff, request)
+    benchmark.extra_info["note"] = "control plane; dominated by Ed25519 verify"

@@ -1,0 +1,61 @@
+"""E6 bench — revocation-list operations (paper Section VIII-G2)."""
+
+import pytest
+
+from repro.core.revocation import RevocationList
+from repro.crypto.rng import DeterministicRng
+from repro.experiments import e6_revocation
+
+
+@pytest.fixture(scope="module")
+def loaded_list():
+    revs = RevocationList()
+    rng = DeterministicRng(6)
+    for i in range(10_000):
+        revs.add(rng.read(16), 1e9 + i)
+    return revs, rng
+
+
+def test_revocation_lookup(benchmark, loaded_list):
+    """The per-packet check every border router does (Fig. 4)."""
+    revs, rng = loaded_list
+    probe = rng.read(16)
+    benchmark(revs.contains, probe)
+
+
+def test_revocation_insert(benchmark):
+    revs = RevocationList()
+    rng = DeterministicRng(7)
+    ephids = [rng.read(16) for _ in range(4096)]
+    state = {"i": 0}
+
+    def insert():
+        revs.add(ephids[state["i"] % len(ephids)], 1e9 + state["i"])
+        state["i"] += 1
+
+    benchmark(insert)
+
+
+def test_prune_amortized(benchmark):
+    """Expiry pruning cost when entries age out continuously."""
+    rng = DeterministicRng(8)
+
+    def build_and_prune():
+        revs = RevocationList()
+        for i in range(500):
+            revs.add(rng.read(16), float(i))
+        return revs.prune(now=250.0)
+
+    pruned = benchmark.pedantic(build_and_prune, rounds=5, iterations=1)
+    assert pruned == 250
+
+
+def test_e6_growth_shape(benchmark):
+    """Bounded-vs-unbounded list growth, the Section VIII-G2 claim."""
+    result = benchmark.pedantic(
+        lambda: e6_revocation.run(duration=3600.0, quiet=True), rounds=1, iterations=1
+    )
+    benchmark.extra_info["final_pruned"] = result.pruned_sizes[-1]
+    benchmark.extra_info["final_unpruned"] = result.unpruned_sizes[-1]
+    benchmark.extra_info["hids_revoked"] = result.hids_revoked
+    assert result.pruning_wins

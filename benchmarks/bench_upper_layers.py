@@ -1,0 +1,128 @@
+"""Benchmarks for the upper-layer extensions (Sections VIII-B and VIII-F).
+
+* TLS over APNA: the reduced handshake is one Ed25519 signature and one
+  verification — no second key exchange.  The numbers here, next to the
+  X25519 cost in ``bench_crypto.py``, quantify what omitting it saves.
+* Encrypted ICMP: the opportunistic seal/open path and the certificate
+  cache that bounds its storage (the paper's stated overhead concern).
+"""
+
+import pytest
+
+from repro.core import framing
+from repro.core.icmp_crypto import CertificateCache, EncryptedIcmpCodec
+from repro.core.keys import SigningKeyPair
+from repro.core.session import ConnectionRequest, Session
+from repro.crypto.rng import DeterministicRng
+from repro.tls import AuthRequest, WebCa, attest, channel_binding, verify_attestation
+from repro.wire.icmp import IcmpMessage, TIME_EXCEEDED
+
+
+@pytest.fixture(scope="module")
+def tls_setup(bench_world):
+    rng = DeterministicRng("bench-tls")
+    alice = bench_world.hosts_a[0]
+    bob = bench_world.hosts_b[0]
+    alice_owned = alice.acquire_ephid_direct()
+    bob_owned = bob.acquire_ephid_direct()
+    client = Session(alice_owned, bob_owned.cert)
+    server = Session(bob_owned, alice_owned.cert)
+    ca = WebCa(rng)
+    domain_keys = SigningKeyPair.generate(rng)
+    cert = ca.issue("shop.example", domain_keys.public)
+    request = AuthRequest.create("shop.example", rng)
+    attestation = attest(server, request, cert, domain_keys, rng)
+    return {
+        "rng": rng,
+        "client": client,
+        "server": server,
+        "ca": ca,
+        "cert": cert,
+        "keys": domain_keys,
+        "request": request,
+        "attestation": attestation,
+    }
+
+
+def test_channel_binding(benchmark, tls_setup):
+    """One HKDF export; computed once per handshake by each side."""
+    benchmark(channel_binding, tls_setup["client"])
+
+
+def test_tls_attest(benchmark, tls_setup):
+    """Server side: binding + one Ed25519 signature."""
+    setup = tls_setup
+    benchmark(
+        attest, setup["server"], setup["request"], setup["cert"], setup["keys"],
+        setup["rng"],
+    )
+
+
+def test_tls_verify(benchmark, tls_setup):
+    """Client side: cert verify + attestation verify (two Ed25519 ops)."""
+    setup = tls_setup
+
+    def verify():
+        verify_attestation(
+            setup["client"],
+            setup["request"],
+            setup["attestation"],
+            setup["ca"].public_key,
+        )
+
+    benchmark(verify)
+    benchmark.extra_info["note"] = "no key exchange: compare x25519 in bench_crypto"
+
+
+@pytest.fixture(scope="module")
+def icmp_setup(bench_world):
+    alice = bench_world.hosts_a[0]
+    bob = bench_world.hosts_b[0]
+    alice_owned = alice.acquire_ephid_direct()
+    bob_owned = bob.acquire_ephid_direct()
+    sender = EncryptedIcmpCodec(bob_owned, rng=DeterministicRng("icmp"))
+    sender.cache.insert(alice_owned.cert)
+    receiver = EncryptedIcmpCodec(alice_owned)
+    message = IcmpMessage(TIME_EXCEEDED, payload=b"x" * 64)
+    wire = sender.seal(message, alice_owned.ephid, now=0.0)
+    conn_frame = framing.frame(
+        framing.PT_CONN_REQUEST, ConnectionRequest(alice_owned.cert).pack()
+    )
+    return {
+        "sender": sender,
+        "receiver": receiver,
+        "message": message,
+        "target": alice_owned.ephid,
+        "wire": wire,
+        "conn_frame": conn_frame,
+    }
+
+
+def test_icmp_seal_encrypted(benchmark, icmp_setup):
+    """Cache hit: ECDH + AEAD per message (the opportunistic path)."""
+    setup = icmp_setup
+    benchmark(setup["sender"].seal, setup["message"], setup["target"], 0.0)
+
+
+def test_icmp_seal_plaintext_fallback(benchmark, icmp_setup):
+    """Cache miss: the paper's default plaintext ICMP."""
+    setup = icmp_setup
+    benchmark(setup["sender"].seal, setup["message"], bytes(16), 0.0)
+
+
+def test_icmp_open_encrypted(benchmark, icmp_setup):
+    setup = icmp_setup
+    benchmark(setup["receiver"].open, setup["wire"])
+
+
+def test_cert_cache_observe_data_frame(benchmark, icmp_setup):
+    """The per-packet router cost for ordinary traffic: one byte peek."""
+    cache = CertificateCache()
+    data_frame = framing.frame(framing.PT_DATA, b"x" * 512)
+    benchmark(cache.observe_payload, data_frame)
+
+
+def test_cert_cache_observe_conn_frame(benchmark, icmp_setup):
+    """Harvesting a certificate from a connection-establishment frame."""
+    cache = CertificateCache(capacity=1024)
+    benchmark(cache.observe_payload, icmp_setup["conn_frame"])

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one paper artifact (see DESIGN.md's
+experiment index).  Wall-clock numbers are machine-dependent; the
+paper-shape verdicts are attached as ``extra_info`` on each benchmark.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.common import build_bench_world  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def bench_world():
+    return build_bench_world(seed=1234, hosts_per_as=2)
+
+
+@pytest.fixture(scope="module")
+def bench_host(bench_world):
+    return bench_world.hosts_a[0]

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: the Fig. 1 end-to-end workflow in ~60 lines of API use.
+
+Two ASes deploy APNA; Alice (AS 100) talks to Bob (AS 200) with source
+accountability, host privacy and natively encrypted traffic.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.autonomous_system import ApnaAutonomousSystem
+from repro.core.rpki import RpkiDirectory, TrustAnchor
+from repro.crypto.rng import DeterministicRng
+from repro.netsim import Network
+
+
+def main() -> None:
+    # --- The world: a trust anchor (RPKI), two ASes, one inter-AS link.
+    rng = DeterministicRng("quickstart")
+    network = Network()
+    anchor = TrustAnchor(rng)
+    rpki = RpkiDirectory(anchor.public_key, network.scheduler.clock())
+    as_a = ApnaAutonomousSystem(100, network, rpki, anchor, rng=rng)
+    as_b = ApnaAutonomousSystem(200, network, rpki, anchor, rng=rng)
+    as_a.connect_to(as_b, latency=0.020)  # 20 ms one way
+
+    # --- Step 1 (Fig. 2): hosts bootstrap into their ASes.
+    alice = as_a.attach_host("alice")
+    bob = as_b.attach_host("bob")
+    alice.bootstrap()
+    bob.bootstrap()
+    network.compute_routes()
+    print("bootstrapped: alice into AS100, bob into AS200")
+
+    # --- Step 2 (Fig. 3): EphID issuance.
+    bob_ephid = bob.acquire_ephid_direct()
+    print(f"bob's EphID:  {bob_ephid.ephid.hex()}  (opaque outside AS200)")
+    print(f"bob's cert:   signed by AS200, expires t={bob_ephid.exp_time}s")
+
+    # --- Steps 3+4 (IV-D): connection establishment + encrypted data.
+    # 0-RTT: the request rides on the very first packet.
+    bob.listen(80, lambda session, transport, data: (
+        print(f"bob received: {data!r} (encrypted end-to-end)"),
+        bob.send_data(session, b"HTTP/1.1 200 OK"),
+    ))
+    session = alice.connect(bob_ephid.cert, early_data=b"GET / HTTP/1.1", dst_port=80)
+    network.run()
+    print(f"alice received: {alice.inbox[-1][2]!r}")
+    print(f"session key (PFS, known only to alice+bob): {session.key.hex()[:16]}…")
+
+    # --- What the network saw.
+    print(
+        f"\naccountability: AS100's border router verified "
+        f"{as_a.br.forwarded_inter} outgoing packets (MAC + EphID checks)"
+    )
+    print(
+        "privacy: the only identity on the wire was 'some host of AS100' — "
+        f"an anonymity set of {len(as_a.hostdb)} registered hosts"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""A public web service on APNA: DNS with receive-only EphIDs, the
+Section VII-A client-server establishment, and the Fig. 5 shutoff
+protocol used against an abusive client — while the *service* stays
+immune to hostile shutoffs.
+
+Run:  python examples/web_service_shutoff.py
+"""
+
+from repro.core.autonomous_system import ApnaAutonomousSystem
+from repro.core.rpki import RpkiDirectory, TrustAnchor
+from repro.crypto.rng import DeterministicRng
+from repro.dns import DnsClient, DnsServer, DnsZone, publish_service
+from repro.netsim import Network
+from repro.wire.apna import ApnaPacket, Endpoint
+
+
+def main() -> None:
+    rng = DeterministicRng("web-service")
+    network = Network()
+    anchor = TrustAnchor(rng)
+    rpki = RpkiDirectory(anchor.public_key, network.scheduler.clock())
+    isp = ApnaAutonomousSystem(100, network, rpki, anchor, rng=rng)  # clients
+    dc = ApnaAutonomousSystem(200, network, rpki, anchor, rng=rng)  # datacenter
+    isp.connect_to(dc, latency=0.015)
+
+    zone = DnsZone(rng)
+    DnsServer(isp, zone)
+    DnsServer(dc, zone)
+
+    # --- The server publishes shop.example under a RECEIVE-ONLY EphID.
+    server = dc.attach_host("webserver")
+    server.bootstrap()
+    record = publish_service(server, zone, "shop.example")
+    print(f"DNS: shop.example -> receive-only EphID {record.cert.ephid.hex()[:16]}…")
+
+    requests_log = []
+
+    def serve(session, transport, data):
+        requests_log.append((session, data))
+        server.send_data(session, b"200 OK: " + data, dst_port=transport.src_port)
+
+    server.listen(80, serve)
+
+    # --- A legitimate client resolves and fetches (encrypted DNS, 0-RTT data).
+    client = isp.attach_host("customer")
+    client.bootstrap()
+    resolver = DnsClient(client, zone.public_key)
+
+    def on_resolved(rec):
+        print(f"customer resolved shop.example, connecting with 0-RTT data")
+        client.connect(rec.cert, early_data=b"GET /catalogue", dst_port=80, src_port=7001)
+
+    resolver.resolve("shop.example", on_resolved)
+    network.run()
+    print(f"customer got: {client.inbox[-1][2]!r}\n")
+
+    # --- An abuser hammers the service; the server shuts its EphID off.
+    abuser = isp.attach_host("abuser")
+    abuser.bootstrap()
+    abuser_ephid = abuser.acquire_ephid_direct()
+
+    # Capture the serving session the abuser's traffic arrives on.
+    server.connect  # (the abuser connects like anyone else)
+    abuser_session = abuser.connect(
+        record.cert, early_data=b"POST /spam", dst_port=80, src_owned=abuser_ephid
+    )
+    network.run()
+    serving_session, spam = requests_log[-1]
+    print(f"webserver received abuse: {spam!r}")
+
+    # Rebuild the offending packet bytes the server would present: here we
+    # simply capture the next abusive packet at the server's access link.
+    captured = []
+    original_handle = server.handle_frame
+
+    def capture(frame, *, from_node):
+        captured.append(frame)
+        original_handle(frame, from_node=from_node)
+
+    server.handle_frame = capture
+    abuser.send_data(abuser_session, b"MORE SPAM", dst_port=80)
+    network.run()
+    offending = ApnaPacket.from_wire(captured[-1])
+
+    # The serving EphID that received the packet signs the shutoff request.
+    signer = server.owned[offending.header.dst_ephid]
+    responses = []
+    server.send_shutoff(
+        offending,
+        signer=signer,
+        aa_endpoint=Endpoint(abuser_ephid.cert.aid, abuser_ephid.cert.aa_ephid),
+        callback=responses.append,
+    )
+    network.run()
+    print(f"shutoff request -> AS100 accountability agent: {responses[0].reason}")
+
+    # The abuser's EphID is now dead at ITS OWN AS's border.
+    abuser.send_data(abuser_session, b"ARE YOU STILL THERE", dst_port=80)
+    network.run()
+    from repro.core.border_router import DropReason
+
+    drops = isp.br.drops[DropReason.SRC_REVOKED]
+    print(f"abuser's packets now dropped at AS100 egress: {drops} so far")
+
+    # Meanwhile the published service EphID cannot be shut off (it never
+    # sources packets), so shop.example keeps serving everyone else.
+    client.send_data(
+        client.sessions[max(client.sessions)], b"GET /checkout", dst_port=80
+    )
+    network.run()
+    print(f"customer still served: {client.inbox[-1][2]!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable wheels cannot be built; this shim lets
+``pip install -e .`` fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

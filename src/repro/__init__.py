@@ -1,0 +1,118 @@
+"""APNA — *Source Accountability with Domain-brokered Privacy* (CoNEXT 2016).
+
+A from-scratch Python reproduction of the Accountable and Private Network
+Architecture (APNA) by Lee, Pappas, Barrera, Szalachowski and Perrig
+(ETH Zurich, arXiv:1610.00461).
+
+APNA enlists ISPs (autonomous systems) as *accountability agents* and
+*privacy brokers*.  Hosts address each other with 16-byte **Ephemeral
+Identifiers (EphIDs)** — CCA-secure encrypted tokens only the issuing AS can
+link back to a host — instead of long-lived addresses.  Every packet carries
+a MAC keyed with a host<->AS shared key (source accountability), EphIDs hide
+host identity from everyone but the issuing AS (host privacy), and EphIDs
+are bound to short-lived certified key pairs used for end-to-end key
+agreement with perfect forward secrecy (data privacy).
+
+Package map
+-----------
+
+================= ==========================================================
+``repro.crypto``  From-scratch crypto substrate: AES, CTR/CBC-MAC/CMAC/GCM,
+                  HKDF, X25519, Ed25519, AEAD schemes, RNGs.
+``repro.wire``    Wire formats: the 48 B APNA header (Fig. 7), replay-nonce
+                  extension, IPv4/GRE encapsulation (Fig. 9), transport,
+                  ICMP.
+``repro.core``    The paper's contribution: EphID codec (Fig. 6),
+                  certificates, registry (Fig. 2), management service
+                  (Fig. 3), border router (Fig. 4), accountability agent /
+                  shutoff (Fig. 5), host stack, sessions, granularity
+                  policies, revocation, and the AS assembly.
+``repro.netsim``  Discrete-event network simulator (clock, links, routing).
+``repro.dns``     DNS substrate with signed records and receive-only EphIDs
+                  (Section VII-A).
+``repro.gateway`` Deployment bridges: IPv4<->APNA gateway (VII-D), bridge/
+                  NAT access points (VII-B), APNA-as-a-Service (VIII-E).
+``repro.pathval`` Path validation + on-path shutoff authorization
+                  (Section VIII-C, built).
+``repro.tls``     Authentication-only TLS over APNA, channel-bound to the
+                  session key (Section VIII-F, built).
+``repro.baselines`` Comparators: plain IP, APIP, AIP, Persona (Section IX).
+``repro.workload`` Synthetic 24 h flow traces and packet pools (Section V).
+``repro.attacks`` Adversary harness for the security analysis (Section VI).
+``repro.experiments`` Runnable paper-artifact reproductions (E1-E15).
+``repro.metrics`` Small timing/table helpers shared by the experiments.
+================= ==========================================================
+
+Quickstart
+----------
+
+>>> from repro import build_two_as_internet
+>>> world = build_two_as_internet(seed=7)
+>>> alice = world.attach_host("alice", side="a")
+>>> bob = world.attach_host("bob", side="b")
+>>> bob_ephid = bob.acquire_ephid_direct()
+>>> session = alice.connect(bob_ephid.cert, early_data=b"hello, private internet")
+>>> world.network.run()
+
+See ``examples/quickstart.py`` for the full narrated version.
+"""
+
+from .core import (
+    AccountabilityAgent,
+    ApnaAutonomousSystem,
+    ApnaConfig,
+    ApnaError,
+    ApnaHostNode,
+    AsCertificate,
+    BorderRouter,
+    EphIdCertificate,
+    EphIdCodec,
+    EphIdInfo,
+    HostStack,
+    ManagementService,
+    RegistryService,
+    RevocationList,
+    RpkiDirectory,
+    Session,
+    TrustAnchor,
+    make_policy,
+)
+from .netsim import Network
+from .version import __version__
+from .world import (
+    MultiAsWorld,
+    TwoAsWorld,
+    build_as_chain,
+    build_as_star,
+    build_transit_stub,
+    build_two_as_internet,
+)
+
+__all__ = [
+    "AccountabilityAgent",
+    "ApnaAutonomousSystem",
+    "ApnaConfig",
+    "ApnaError",
+    "ApnaHostNode",
+    "AsCertificate",
+    "BorderRouter",
+    "EphIdCertificate",
+    "EphIdCodec",
+    "EphIdInfo",
+    "HostStack",
+    "ManagementService",
+    "MultiAsWorld",
+    "Network",
+    "RegistryService",
+    "RevocationList",
+    "RpkiDirectory",
+    "Session",
+    "TrustAnchor",
+    "TwoAsWorld",
+    "build_as_chain",
+    "build_as_star",
+    "build_transit_stub",
+    "build_two_as_internet",
+    "make_policy",
+    "__version__",
+]

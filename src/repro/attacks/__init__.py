@@ -1,0 +1,26 @@
+"""Adversary harness for the Section VI security analysis (E10).
+
+Each class implements one attack from the paper's analysis and reports
+whether it succeeded; the security tests and the E10 experiment assert
+that every one of them fails against APNA.
+"""
+
+from .adversaries import (
+    EphIdMinter,
+    EphIdSpoofer,
+    FlowLinker,
+    IdentityMinter,
+    MitmAs,
+    PfsBreaker,
+    ShutoffAbuser,
+)
+
+__all__ = [
+    "EphIdMinter",
+    "EphIdSpoofer",
+    "FlowLinker",
+    "IdentityMinter",
+    "MitmAs",
+    "PfsBreaker",
+    "ShutoffAbuser",
+]

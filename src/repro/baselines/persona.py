@@ -1,0 +1,74 @@
+"""Baseline: Persona-style ISP address rewriting (Mallios et al., 2009),
+as characterised in the paper's related work.
+
+The source ISP replaces the IP address of each outgoing packet with an
+address drawn from a pool.  This hides the host, but — as the APNA paper
+notes — "it breaks the notion of flow and prevents the destination from
+demultiplexing connections": two packets of the same flow can leave with
+different source addresses, so the classic 5-tuple no longer identifies
+a flow at the receiver.  APNA's EphIDs avoid this by being *stable within
+a flow* while still unlinkable across flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.rng import Rng, SystemRng
+
+
+@dataclass(frozen=True)
+class PersonaPacket:
+    src_addr: int  # rewritten by the ISP
+    dst_addr: int
+    src_port: int
+    dst_port: int
+    payload: bytes = b""
+
+    @property
+    def flow_tuple(self) -> tuple[int, int, int, int]:
+        return (self.src_addr, self.dst_addr, self.src_port, self.dst_port)
+
+
+class PersonaNat:
+    """The ISP-side rewriting box."""
+
+    def __init__(self, pool: list[int], rng: Rng | None = None) -> None:
+        if not pool:
+            raise ValueError("address pool must not be empty")
+        self.pool = pool
+        self._rng = rng or SystemRng()
+        self.rewritten = 0
+
+    def process(self, packet: PersonaPacket) -> PersonaPacket:
+        """Rewrite the source address with a random pool member."""
+        new_src = self.pool[self._rng.randint(len(self.pool))]
+        self.rewritten += 1
+        return PersonaPacket(
+            src_addr=new_src,
+            dst_addr=packet.dst_addr,
+            src_port=packet.src_port,
+            dst_port=packet.dst_port,
+            payload=packet.payload,
+        )
+
+
+class FlowDemuxer:
+    """A receiver trying to group packets into flows by 5-tuple."""
+
+    def __init__(self) -> None:
+        self.flows: dict[tuple[int, int, int, int], list[PersonaPacket]] = {}
+
+    def receive(self, packet: PersonaPacket) -> None:
+        self.flows.setdefault(packet.flow_tuple, []).append(packet)
+
+    @property
+    def flow_count(self) -> int:
+        return len(self.flows)
+
+    def demux_accuracy(self, true_flow_count: int) -> float:
+        """1.0 when the observed flow count matches reality; degrades as
+        rewriting splinters flows into spurious ones."""
+        if self.flow_count == 0:
+            return 0.0
+        return min(1.0, true_flow_count / self.flow_count)

@@ -1,0 +1,63 @@
+"""Baseline: a plain IPv4 router (no accountability, no privacy).
+
+This is the "theoretical maximum" comparator for the Fig. 8 forwarding
+experiment: the same packet loop with only classic IPv4 processing —
+parse, checksum verify, TTL decrement, checksum update, longest-prefix
+route lookup.
+"""
+
+from __future__ import annotations
+
+from ..wire.errors import ParseError
+from ..wire.ipv4 import HEADER_SIZE, Ipv4Header
+
+
+class RoutingTable:
+    """Longest-prefix-match over /0../32 prefixes."""
+
+    def __init__(self) -> None:
+        self._by_length: dict[int, dict[int, str]] = {}
+        self._lengths: list[int] = []
+
+    def add(self, prefix: int, length: int, next_hop: str) -> None:
+        if not 0 <= length <= 32:
+            raise ValueError(f"bad prefix length {length}")
+        mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+        table = self._by_length.setdefault(length, {})
+        table[prefix & mask] = next_hop
+        self._lengths = sorted(self._by_length, reverse=True)
+
+    def lookup(self, address: int) -> str | None:
+        for length in self._lengths:
+            mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+            next_hop = self._by_length[length].get(address & mask)
+            if next_hop is not None:
+                return next_hop
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self._by_length.values())
+
+
+class PlainIpRouter:
+    """The baseline forwarding pipeline."""
+
+    def __init__(self, routes: RoutingTable | None = None) -> None:
+        self.routes = routes or RoutingTable()
+        self.forwarded = 0
+        self.dropped = 0
+
+    def process(self, packet: bytes) -> tuple[str, bytes] | None:
+        """Forward one packet; returns (next_hop, rewritten bytes) or None."""
+        try:
+            header = Ipv4Header.parse(packet)
+            header = header.decrement_ttl()
+        except ParseError:
+            self.dropped += 1
+            return None
+        next_hop = self.routes.lookup(header.dst)
+        if next_hop is None:
+            self.dropped += 1
+            return None
+        self.forwarded += 1
+        return next_hop, header.pack() + packet[HEADER_SIZE:]

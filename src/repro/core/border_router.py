@@ -1,0 +1,200 @@
+"""The APNA border router data plane (paper Fig. 4 and Section V-B).
+
+Two pipelines, both built purely from symmetric cryptography:
+
+* **Outgoing** (host -> Internet): decrypt the source EphID, check
+  expiry / revocation / HID validity, verify the per-packet MAC with the
+  host's kHA.  Only authenticated packets from authorized EphIDs leave
+  the AS — this is the accountability enforcement point.
+* **Incoming** (Internet -> host): transit packets are forwarded toward
+  the destination AID untouched; at the destination AS the destination
+  EphID is decrypted and checked, then the packet is forwarded
+  intra-domain by HID.
+
+The router is sans-IO: it turns a packet into a :class:`Verdict`, and the
+AS assembly (or a benchmark loop) acts on it.  Per-host CMAC instances
+are cached so steady-state verification costs one AES pass over the
+packet, mirroring the AES-NI data path of the paper's DPDK prototype.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from ..crypto.cmac import Cmac
+from ..wire import icmp as icmp_wire
+from ..wire.apna import ApnaPacket
+from .ephid import EphIdCodec
+from .errors import EphIdError
+from .hostdb import HostDatabase
+from .replay_filter import RotatingReplayFilter
+from .revocation import RevocationList
+
+
+class Action(enum.Enum):
+    FORWARD_INTER = "forward-inter"  # toward another AS
+    FORWARD_INTRA = "forward-intra"  # to a local HID
+    DROP = "drop"
+
+
+class DropReason(enum.Enum):
+    SRC_FORGED = "src-ephid-forged"
+    SRC_EXPIRED = "src-ephid-expired"
+    SRC_REVOKED = "src-ephid-revoked"
+    SRC_HID_INVALID = "src-hid-invalid"
+    BAD_MAC = "packet-mac-invalid"
+    DST_FORGED = "dst-ephid-forged"
+    DST_EXPIRED = "dst-ephid-expired"
+    DST_REVOKED = "dst-ephid-revoked"
+    DST_HID_INVALID = "dst-hid-invalid"
+    NOT_LOCAL_SOURCE = "src-aid-foreign"
+    REPLAYED = "packet-replayed"
+
+
+#: ICMP codes attached to (incoming-side) drops so the source can learn
+#: why its packets die (Section VIII-B: ICMP works by default in APNA).
+ICMP_CODES = {
+    DropReason.DST_EXPIRED: icmp_wire.CODE_EPHID_EXPIRED,
+    DropReason.DST_REVOKED: icmp_wire.CODE_EPHID_REVOKED,
+    DropReason.DST_HID_INVALID: icmp_wire.CODE_HID_INVALID,
+}
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The router's decision for one packet."""
+
+    action: Action
+    reason: DropReason | None = None
+    hid: int | None = None  # set for FORWARD_INTRA
+    next_aid: int | None = None  # set for FORWARD_INTER
+
+    @property
+    def dropped(self) -> bool:
+        return self.action is Action.DROP
+
+
+class BorderRouter:
+    """One AS's border router."""
+
+    def __init__(
+        self,
+        aid: int,
+        codec: EphIdCodec,
+        hostdb: HostDatabase,
+        revocations: RevocationList,
+        clock: Callable[[], float],
+        *,
+        packet_mac_size: int = 8,
+        replay_filter: RotatingReplayFilter | None = None,
+    ) -> None:
+        self.aid = aid
+        self._codec = codec
+        self._hostdb = hostdb
+        self._revocations = revocations
+        self._clock = clock
+        self._mac_size = packet_mac_size
+        self._mac_cache: dict[int, Cmac] = {}
+        #: Optional in-network replay detection (Section VIII-D future
+        #: work; see :mod:`repro.core.replay_filter`).  Checked on both
+        #: pipelines for packets that carry the replay nonce.
+        self.replay_filter = replay_filter
+        self.drops: dict[DropReason, int] = {reason: 0 for reason in DropReason}
+        self.forwarded_inter = 0
+        self.forwarded_intra = 0
+
+    def _drop(self, reason: DropReason) -> Verdict:
+        self.drops[reason] += 1
+        return Verdict(Action.DROP, reason=reason)
+
+    def _mac_for(self, hid: int) -> Cmac:
+        mac = self._mac_cache.get(hid)
+        if mac is None:
+            mac = Cmac(self._hostdb.get(hid).keys.packet_mac)
+            self._mac_cache[hid] = mac
+        return mac
+
+    # -- Fig. 4 bottom: outgoing packets --
+
+    def process_outgoing(self, packet: ApnaPacket) -> Verdict:
+        """Egress pipeline for a packet originated by a local host."""
+        now = self._clock()
+        self._revocations.maybe_prune(now)
+        header = packet.header
+        if header.src_aid != self.aid:
+            return self._drop(DropReason.NOT_LOCAL_SOURCE)
+        try:
+            info = self._codec.open(header.src_ephid)
+        except EphIdError:
+            return self._drop(DropReason.SRC_FORGED)
+        if info.exp_time < now:
+            return self._drop(DropReason.SRC_EXPIRED)
+        if self._revocations.contains(header.src_ephid):
+            return self._drop(DropReason.SRC_REVOKED)
+        if not self._hostdb.is_valid(info.hid):
+            return self._drop(DropReason.SRC_HID_INVALID)
+        expected = self._mac_for(info.hid).tag(packet.mac_input(), self._mac_size)
+        if expected != header.mac:
+            return self._drop(DropReason.BAD_MAC)
+        # Replay detection runs after the MAC check so that spoofed
+        # packets cannot pollute the filter against a victim's nonces.
+        if not self._replay_fresh(header):
+            return self._drop(DropReason.REPLAYED)
+        if header.dst_aid == self.aid:
+            # Intra-AS communication: run the destination-side checks too.
+            return self._deliver_local(packet, now)
+        self.forwarded_inter += 1
+        return Verdict(Action.FORWARD_INTER, next_aid=header.dst_aid)
+
+    # -- Fig. 4 top: incoming packets --
+
+    def process_incoming(self, packet: ApnaPacket) -> Verdict:
+        """Ingress pipeline for a packet arriving from a neighbor AS."""
+        header = packet.header
+        if header.dst_aid != self.aid:
+            # Transit: forward toward the destination AS.
+            self.forwarded_inter += 1
+            return Verdict(Action.FORWARD_INTER, next_aid=header.dst_aid)
+        now = self._clock()
+        self._revocations.maybe_prune(now)
+        if not self._replay_fresh(header):
+            return self._drop(DropReason.REPLAYED)
+        return self._deliver_local(packet, now)
+
+    def _replay_fresh(self, header) -> bool:
+        """True unless the filter says this (EphID, nonce) was seen before.
+
+        Packets without a nonce (the base Fig. 7 header) always pass;
+        in-network replay detection needs the Section VIII-D nonce.
+        """
+        if self.replay_filter is None or header.nonce is None:
+            return True
+        return self.replay_filter.observe(
+            header.src_ephid, header.nonce, self._clock()
+        )
+
+    def _deliver_local(self, packet: ApnaPacket, now: float) -> Verdict:
+        header = packet.header
+        try:
+            info = self._codec.open(header.dst_ephid)
+        except EphIdError:
+            return self._drop(DropReason.DST_FORGED)
+        if info.exp_time < now:
+            return self._drop(DropReason.DST_EXPIRED)
+        if self._revocations.contains(header.dst_ephid):
+            return self._drop(DropReason.DST_REVOKED)
+        if not self._hostdb.is_valid(info.hid):
+            return self._drop(DropReason.DST_HID_INVALID)
+        self.forwarded_intra += 1
+        return Verdict(Action.FORWARD_INTRA, hid=info.hid)
+
+    # -- observability --
+
+    @property
+    def total_drops(self) -> int:
+        return sum(self.drops.values())
+
+    def drop_counts(self) -> dict[str, int]:
+        return {reason.value: count for reason, count in self.drops.items() if count}

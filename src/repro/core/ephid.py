@@ -1,0 +1,139 @@
+"""The EphID construction of paper Fig. 6 — a 16-byte CCA-secure token.
+
+An EphID encrypts ``(HID, ExpTime)`` under the AS secret so that the AS
+can recover the host identity *statelessly* ("the use of encryption
+enables the issuing AS to obtain the HID and expiration time from an
+EphID ... without an additional mapping table", Section IV-C).
+
+Construction (Encrypt-then-MAC, Bellare–Namprempre generic composition):
+
+1. keystream = AES_kA'( IV(4) || 0^12 ) — single-block CTR.
+2. ciphertext = (HID(4) || ExpTime(4)) XOR keystream[:8].
+3. tag = CBC-MAC_kA''( IV(4) || 0^4 || ciphertext(8) )[:4] — one fixed
+   16-byte block, which is exactly the regime where CBC-MAC is secure.
+4. EphID = ciphertext(8) || IV(4) || tag(4).
+
+The IV makes every EphID for the same (HID, ExpTime) distinct, which is
+what lets a host hold many unlinkable EphIDs simultaneously.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..crypto.aes import AES
+from ..crypto.modes import cbc_mac
+from ..crypto.rng import Rng, SystemRng
+from ..crypto.util import ct_eq, xor_bytes
+from .errors import EphIdError
+
+EPHID_SIZE = 16
+HID_SIZE = 4
+EXPTIME_SIZE = 4
+IV_SIZE = 4
+CIPHERTEXT_SIZE = HID_SIZE + EXPTIME_SIZE
+TAG_SIZE = 4
+
+_MAX_HID = 2**32 - 1
+_MAX_EXPTIME = 2**32 - 1
+_MAX_IV = 2**32 - 1
+
+
+@dataclass(frozen=True)
+class EphIdInfo:
+    """The plaintext content of an EphID."""
+
+    hid: int
+    exp_time: int
+
+    def expired(self, now: float) -> bool:
+        return self.exp_time < now
+
+
+class EphIdCodec:
+    """Seals and opens EphIDs for one AS (holder of kA' and kA'')."""
+
+    __slots__ = ("_enc", "_mac_cipher")
+
+    def __init__(self, enc_key: bytes, mac_key: bytes) -> None:
+        if enc_key == mac_key:
+            raise ValueError("encryption and MAC keys must differ (EtM composition)")
+        self._enc = AES(enc_key)
+        self._mac_cipher = AES(mac_key)
+
+    def _keystream(self, iv: int) -> bytes:
+        block = struct.pack(">I", iv) + bytes(12)
+        return self._enc.encrypt_block(block)[:CIPHERTEXT_SIZE]
+
+    def _tag(self, iv: int, ciphertext: bytes) -> bytes:
+        block = struct.pack(">I", iv) + bytes(4) + ciphertext
+        return cbc_mac(self._mac_cipher, block, expected_length=16)[:TAG_SIZE]
+
+    def seal(self, hid: int, exp_time: int, iv: int) -> bytes:
+        """Create an EphID binding (hid, exp_time) under a fresh IV."""
+        if not 0 <= hid <= _MAX_HID:
+            raise EphIdError(f"HID out of range: {hid}")
+        if not 0 <= exp_time <= _MAX_EXPTIME:
+            raise EphIdError(f"ExpTime out of range: {exp_time}")
+        if not 0 <= iv <= _MAX_IV:
+            raise EphIdError(f"IV out of range: {iv}")
+        plaintext = struct.pack(">II", hid, exp_time)
+        ciphertext = xor_bytes(plaintext, self._keystream(iv))
+        return ciphertext + struct.pack(">I", iv) + self._tag(iv, ciphertext)
+
+    def open(self, ephid: bytes) -> EphIdInfo:
+        """Authenticate and decrypt an EphID; raises :class:`EphIdError`.
+
+        This is the stateless lookup border routers perform on every
+        packet (Fig. 4): one MAC check plus one AES operation.
+        """
+        if len(ephid) != EPHID_SIZE:
+            raise EphIdError(f"EphID must be {EPHID_SIZE} bytes, got {len(ephid)}")
+        ciphertext = ephid[:CIPHERTEXT_SIZE]
+        (iv,) = struct.unpack_from(">I", ephid, CIPHERTEXT_SIZE)
+        tag = ephid[CIPHERTEXT_SIZE + IV_SIZE :]
+        if not ct_eq(self._tag(iv, ciphertext), tag):
+            raise EphIdError("EphID authentication failed")
+        hid, exp_time = struct.unpack(">II", xor_bytes(ciphertext, self._keystream(iv)))
+        return EphIdInfo(hid=hid, exp_time=exp_time)
+
+    def is_valid(self, ephid: bytes) -> bool:
+        """Authenticity-only check (no expiry/revocation semantics)."""
+        try:
+            self.open(ephid)
+        except EphIdError:
+            return False
+        return True
+
+
+class IvAllocator:
+    """Allocates unique IVs for EphID generation.
+
+    CTR-mode security requires that an IV never repeat under the same key
+    ("Secure operation of this mode requires a unique initialization
+    vector for every encryption", Section V-A1).  A counter starting at a
+    random offset guarantees uniqueness for up to 2^32 issuances; after
+    that the AS must rotate kA.
+    """
+
+    __slots__ = ("_next", "_remaining")
+
+    def __init__(self, rng: Rng | None = None, *, start: int | None = None) -> None:
+        if start is None:
+            rng = rng or SystemRng()
+            start = rng.randint(2**32)
+        self._next = start % 2**32
+        self._remaining = 2**32
+
+    def next_iv(self) -> int:
+        if self._remaining == 0:
+            raise EphIdError("IV space exhausted: rotate the AS secret kA")
+        iv = self._next
+        self._next = (self._next + 1) % 2**32
+        self._remaining -= 1
+        return iv
+
+    @property
+    def issued(self) -> int:
+        return 2**32 - self._remaining

@@ -1,0 +1,92 @@
+"""The host information database (``host_info`` in the paper).
+
+Maps HID -> host record, in particular the kHA subkeys every AS entity
+needs to authenticate the host's packets (Fig. 2: "the entities need to
+learn the HID of the host and the shared key kHA").  Implemented as a
+hash table keyed by HID, exactly as the paper's prototype does
+(Section V-A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import RevokedError, UnknownHostError
+from .keys import HostAsKeys
+
+#: Reserved HIDs for AS-internal services.  Host HIDs start above these.
+HID_REGISTRY = 1
+HID_MANAGEMENT = 2
+HID_ACCOUNTABILITY = 3
+HID_DNS = 4
+FIRST_HOST_HID = 0x0001_0000
+
+
+@dataclass
+class HostRecord:
+    """One registered host (or AS service endpoint)."""
+
+    hid: int
+    keys: HostAsKeys
+    subscriber_id: int | None = None
+    revoked: bool = False
+    ephids_issued: int = 0
+    ephids_revoked: int = 0
+
+
+class HostDatabase:
+    """``host_info``: the per-AS registry of authenticated hosts."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, HostRecord] = {}
+        self._next_hid = FIRST_HOST_HID
+
+    def allocate_hid(self) -> int:
+        """Assign a fresh, never-reused HID."""
+        hid = self._next_hid
+        if hid > 0xFFFF_FFFF:
+            raise UnknownHostError("HID space exhausted")
+        self._next_hid += 1
+        return hid
+
+    def register(self, record: HostRecord) -> None:
+        if record.hid in self._records:
+            raise UnknownHostError(f"HID {record.hid} already registered")
+        self._records[record.hid] = record
+
+    def get(self, hid: int) -> HostRecord:
+        """Look up a live host; raises for unknown or revoked HIDs."""
+        record = self._records.get(hid)
+        if record is None:
+            raise UnknownHostError(f"HID {hid} is not registered")
+        if record.revoked:
+            raise RevokedError(f"HID {hid} is revoked")
+        return record
+
+    def is_valid(self, hid: int) -> bool:
+        record = self._records.get(hid)
+        return record is not None and not record.revoked
+
+    def revoke_hid(self, hid: int) -> None:
+        """Revoke a host identity (Section VIII-G2's escalation)."""
+        record = self._records.get(hid)
+        if record is None:
+            raise UnknownHostError(f"HID {hid} is not registered")
+        record.revoked = True
+
+    def find_by_subscriber(self, subscriber_id: int) -> HostRecord | None:
+        """Current live HID for a subscriber, if any (one HID per host)."""
+        for record in self._records.values():
+            if record.subscriber_id == subscriber_id and not record.revoked:
+                return record
+        return None
+
+    def __contains__(self, hid: int) -> bool:
+        return self.is_valid(hid)
+
+    def __len__(self) -> int:
+        return sum(1 for r in self._records.values() if not r.revoked)
+
+    @property
+    def total_registered(self) -> int:
+        return len(self._records)

@@ -1,0 +1,203 @@
+"""Encrypted ICMP (paper Section VIII-B, listed as future work).
+
+"Unlike data communication between two hosts, the payload of ICMP
+messages are not encrypted.  Encrypting the payload is difficult because
+the ICMP message sender cannot easily obtain the short-lived certificate
+of the source EphID in the original message. [...] One naive approach is
+to store short-lived certificates of all flows that the sender sees;
+however, this approach incurs a lot of storage overhead.  As our future
+work, we are exploring ways to encrypt ICMP messages without imposing
+excessive overhead."
+
+This module implements that exploration with bounded overhead:
+
+* Routers opportunistically cache EphID certificates they can see in the
+  clear anyway — connection-establishment packets carry them unencrypted
+  (Fig. 3 / Section IV-D1) — in a small LRU with TTL equal to the
+  certificate lifetime (:class:`CertificateCache`).  The storage is
+  bounded by the LRU capacity, not by the number of flows.
+* When an ICMP message must be generated for a packet whose source EphID
+  certificate is cached, the sender derives the same ECDH key a data
+  session would use (its own EphID key pair against the cached
+  certificate) and seals the ICMP payload
+  (:class:`EncryptedIcmpCodec.seal`).  The sender's certificate rides
+  along so the receiver can derive the key.
+* If the certificate is not cached, the sender falls back to the paper's
+  default plaintext ICMP — the mechanism is strictly opportunistic.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+
+from ..crypto.aead import new_aead
+from ..crypto.rng import Rng, SystemRng
+from ..wire.icmp import IcmpMessage
+from . import framing
+from .certs import EPHID_CERT_SIZE, EphIdCertificate
+from .errors import ApnaError, CertError
+from .session import ConnectionAccept, ConnectionRequest, OwnedEphId, derive_session_key
+
+MODE_PLAINTEXT = 0
+MODE_ENCRYPTED = 1
+
+_NONCE_SIZE = 12
+_AAD = b"apna-icmp-enc-v1"
+
+
+class IcmpCryptoError(ApnaError):
+    """Failure to seal or open an encrypted ICMP message."""
+
+
+class CertificateCache:
+    """A bounded LRU of EphID certificates observed on the wire."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[bytes, EphIdCertificate] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, cert: EphIdCertificate) -> None:
+        """Cache a certificate under its EphID (refreshes LRU position)."""
+        key = cert.ephid
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = cert
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get(self, ephid: bytes, now: float) -> EphIdCertificate | None:
+        """The cached certificate for ``ephid``, if present and unexpired."""
+        cert = self._entries.get(ephid)
+        if cert is None:
+            self.misses += 1
+            return None
+        if cert.exp_time < now:
+            del self._entries[ephid]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(ephid)
+        self.hits += 1
+        return cert
+
+    def observe_payload(self, payload: bytes) -> int:
+        """Harvest certificates from one APNA payload; returns how many.
+
+        Only connection-establishment frames carry certificates in the
+        clear, so this is cheap for ordinary (data) traffic: one byte of
+        inspection.
+        """
+        try:
+            payload_type, body = framing.unframe(payload)
+        except ApnaError:
+            return 0
+        try:
+            if payload_type == framing.PT_CONN_REQUEST:
+                self.insert(ConnectionRequest.parse(body).cert)
+                return 1
+            if payload_type == framing.PT_CONN_ACCEPT:
+                self.insert(ConnectionAccept.parse(body).serving_cert)
+                return 1
+        except CertError:
+            return 0
+        return 0
+
+
+class EncryptedIcmpCodec:
+    """Seals and opens ICMP payloads between one identity and its peers.
+
+    The wire format is self-describing::
+
+        mode (1 B) || plaintext ICMP                     (MODE_PLAINTEXT)
+        mode (1 B) || sender cert || nonce || sealed ICMP (MODE_ENCRYPTED)
+    """
+
+    def __init__(
+        self,
+        owned: OwnedEphId,
+        *,
+        cache: CertificateCache | None = None,
+        scheme: str = "etm",
+        rng: Rng | None = None,
+    ) -> None:
+        self.owned = owned
+        # `is not None` matters: an empty cache is falsy via __len__.
+        self.cache = cache if cache is not None else CertificateCache()
+        self._scheme = scheme
+        self._rng = rng or SystemRng()
+        self.sealed = 0
+        self.plaintext_fallbacks = 0
+
+    # -- sending --------------------------------------------------------
+
+    def _key_with(self, peer_cert: EphIdCertificate) -> bytes:
+        return derive_session_key(
+            self.owned.keypair,
+            peer_cert.dh_public,
+            self.owned.ephid,
+            peer_cert.ephid,
+        )
+
+    def seal(self, message: IcmpMessage, target_ephid: bytes, now: float) -> bytes:
+        """Encrypt ``message`` for the owner of ``target_ephid`` if possible.
+
+        Falls back to the paper's plaintext ICMP when the target's
+        certificate is not in the cache.
+        """
+        cert = self.cache.get(target_ephid, now)
+        if cert is None:
+            self.plaintext_fallbacks += 1
+            return bytes([MODE_PLAINTEXT]) + message.pack()
+        aead = new_aead(self._key_with(cert), self._scheme)
+        nonce = self._rng.read(_NONCE_SIZE)
+        sealed = aead.seal(nonce, message.pack(), _AAD)
+        self.sealed += 1
+        return (
+            bytes([MODE_ENCRYPTED]) + self.owned.cert.pack() + nonce + sealed
+        )
+
+    # -- receiving ------------------------------------------------------
+
+    def open(self, data: bytes, *, as_public: bytes | None = None, now: float | None = None) -> tuple[IcmpMessage, bool]:
+        """Decode an ICMP payload; returns ``(message, was_encrypted)``.
+
+        ``as_public``/``now`` optionally verify the sender's certificate
+        against its AS key (the receiver can also skip verification and
+        treat the message as unauthenticated feedback, like classic ICMP).
+        """
+        if not data:
+            raise IcmpCryptoError("empty ICMP payload")
+        mode = data[0]
+        body = data[1:]
+        if mode == MODE_PLAINTEXT:
+            return IcmpMessage.parse(body), False
+        if mode != MODE_ENCRYPTED:
+            raise IcmpCryptoError(f"unknown ICMP mode {mode}")
+        if len(body) < EPHID_CERT_SIZE + _NONCE_SIZE:
+            raise IcmpCryptoError("encrypted ICMP truncated")
+        sender_cert = EphIdCertificate.parse(body[:EPHID_CERT_SIZE])
+        if as_public is not None:
+            sender_cert.verify(as_public, now=now)
+        nonce = body[EPHID_CERT_SIZE : EPHID_CERT_SIZE + _NONCE_SIZE]
+        sealed = body[EPHID_CERT_SIZE + _NONCE_SIZE :]
+        aead = new_aead(self._key_with(sender_cert), self._scheme)
+        try:
+            plaintext = aead.open(nonce, sealed, _AAD)
+        except ValueError as exc:
+            raise IcmpCryptoError("encrypted ICMP failed authentication") from exc
+        return IcmpMessage.parse(plaintext), True
+
+    @property
+    def encryption_rate(self) -> float:
+        """Fraction of sent ICMP messages that were encrypted."""
+        total = self.sealed + self.plaintext_fallbacks
+        return self.sealed / total if total else 0.0

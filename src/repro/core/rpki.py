@@ -1,0 +1,73 @@
+"""A minimal RPKI substrate (paper Section IV-A assumption).
+
+The paper assumes "participating parties can retrieve and verify the
+public keys of ASes. For example, a scheme such as RPKI can be used."
+This module provides exactly that: a trust anchor that signs AS
+certificates and a directory from which any party can retrieve and
+verify them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..crypto.rng import Rng
+from .certs import AsCertificate
+from .errors import CertError
+from .keys import AsKeyMaterial, SigningKeyPair
+
+
+class TrustAnchor:
+    """The RPKI root: signs AS certificates."""
+
+    def __init__(self, rng: Rng | None = None) -> None:
+        self._keys = SigningKeyPair.generate(rng)
+
+    @property
+    def public_key(self) -> bytes:
+        return self._keys.public
+
+    def certify(
+        self, aid: int, key_material: AsKeyMaterial, *, exp_time: int = 2**32 - 1
+    ) -> AsCertificate:
+        return AsCertificate.issue(
+            self._keys,
+            aid=aid,
+            signing_public=key_material.signing.public,
+            exchange_public=key_material.exchange.public,
+            exp_time=exp_time,
+        )
+
+
+class RpkiDirectory:
+    """A verified directory of AS certificates, shared by all parties."""
+
+    def __init__(self, anchor_public: bytes, clock: Callable[[], float]) -> None:
+        self._anchor_public = anchor_public
+        self._clock = clock
+        self._certs: dict[int, AsCertificate] = {}
+
+    def publish(self, cert: AsCertificate) -> None:
+        """Add a certificate after verifying it against the trust anchor."""
+        cert.verify(self._anchor_public, now=self._clock())
+        existing = self._certs.get(cert.aid)
+        if existing is not None and existing.signing_public != cert.signing_public:
+            raise CertError(f"conflicting AS certificate for AID {cert.aid}")
+        self._certs[cert.aid] = cert
+
+    def lookup(self, aid: int) -> AsCertificate:
+        """Retrieve and re-verify the certificate for an AID."""
+        cert = self._certs.get(aid)
+        if cert is None:
+            raise CertError(f"no AS certificate for AID {aid}")
+        cert.verify(self._anchor_public, now=self._clock())
+        return cert
+
+    def signing_key_of(self, aid: int) -> bytes:
+        return self.lookup(aid).signing_public
+
+    def __contains__(self, aid: int) -> bool:
+        return aid in self._certs
+
+    def __len__(self) -> int:
+        return len(self._certs)

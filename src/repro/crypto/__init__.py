@@ -1,0 +1,54 @@
+"""From-scratch cryptographic substrate for the APNA reproduction.
+
+Everything the paper's protocols need is implemented here directly:
+
+* :mod:`repro.crypto.aes` — AES block cipher (FIPS-197).
+* :mod:`repro.crypto.modes` — CTR, CBC, fixed-length CBC-MAC.
+* :mod:`repro.crypto.cmac` — AES-CMAC (RFC 4493) for packet MACs.
+* :mod:`repro.crypto.gcm` — AES-GCM (NIST SP 800-38D).
+* :mod:`repro.crypto.aead` — pluggable CCA-secure data-plane encryption.
+* :mod:`repro.crypto.kdf` — HMAC-SHA256 / HKDF key derivation.
+* :mod:`repro.crypto.x25519` — Curve25519 Diffie-Hellman (RFC 7748).
+* :mod:`repro.crypto.ed25519` — Ed25519 signatures (RFC 8032).
+* :mod:`repro.crypto.rng` — system and deterministic randomness.
+"""
+
+from .aead import AeadScheme, EtmScheme, GcmScheme, new_aead
+from .aes import AES, BLOCK_SIZE
+from .cmac import Cmac, cmac
+from .gcm import AesGcm
+from .kdf import derive_subkey, hkdf, hkdf_expand, hkdf_extract, hmac_sha256
+from .modes import cbc_decrypt, cbc_encrypt, cbc_mac, ctr_keystream, ctr_xcrypt
+from .rng import DeterministicRng, Rng, SystemRng
+from .util import ct_eq, inc_counter, xor_bytes
+from . import ed25519, x25519
+
+__all__ = [
+    "AES",
+    "BLOCK_SIZE",
+    "AeadScheme",
+    "AesGcm",
+    "Cmac",
+    "DeterministicRng",
+    "EtmScheme",
+    "GcmScheme",
+    "Rng",
+    "SystemRng",
+    "cbc_decrypt",
+    "cbc_encrypt",
+    "cbc_mac",
+    "cmac",
+    "ct_eq",
+    "ctr_keystream",
+    "ctr_xcrypt",
+    "derive_subkey",
+    "ed25519",
+    "hkdf",
+    "hkdf_expand",
+    "hkdf_extract",
+    "hmac_sha256",
+    "inc_counter",
+    "new_aead",
+    "x25519",
+    "xor_bytes",
+]

@@ -1,0 +1,262 @@
+"""AES block cipher (FIPS-197) implemented from scratch.
+
+The encryption path uses the classic 32-bit T-table formulation, which is
+the fastest formulation available to pure Python.  The decryption path uses
+the straightforward byte-oriented inverse cipher; APNA only ever *encrypts*
+blocks on the fast path (CTR mode and CBC-MAC both use the forward
+direction), so decryption speed is irrelevant.
+
+Key sizes 128, 192 and 256 bits are supported.  Correctness is pinned to
+the FIPS-197 appendix vectors in ``tests/test_crypto_aes.py``.
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 16
+
+
+def _xtime(b: int) -> int:
+    """Multiply ``b`` by x in GF(2^8) modulo the AES polynomial."""
+    b <<= 1
+    if b & 0x100:
+        b ^= 0x11B
+    return b & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """Compute the AES S-box and its inverse from first principles."""
+    # Exponentiation/log tables over GF(2^8) with generator 0x03.
+    exp = [0] * 255
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value ^= _xtime(value)  # multiply by 0x03 = x + 1
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for v in range(256):
+        inverse = 0 if v == 0 else exp[(255 - log[v]) % 255]
+        s = inverse
+        r = inverse
+        for _ in range(4):
+            r = ((r << 1) | (r >> 7)) & 0xFF
+            s ^= r
+        s ^= 0x63
+        sbox[v] = s
+        inv_sbox[s] = v
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+
+def _build_enc_tables() -> tuple[list[int], list[int], list[int], list[int]]:
+    """Build the four 32-bit encryption T-tables from the S-box."""
+    t0 = [0] * 256
+    t1 = [0] * 256
+    t2 = [0] * 256
+    t3 = [0] * 256
+    for b in range(256):
+        s = SBOX[b]
+        s2 = _xtime(s)
+        s3 = s2 ^ s
+        word = (s2 << 24) | (s << 16) | (s << 8) | s3
+        t0[b] = word
+        t1[b] = ((word >> 8) | (word << 24)) & 0xFFFFFFFF
+        t2[b] = ((word >> 16) | (word << 16)) & 0xFFFFFFFF
+        t3[b] = ((word >> 24) | (word << 8)) & 0xFFFFFFFF
+    return t0, t1, t2, t3
+
+
+_T0, _T1, _T2, _T3 = _build_enc_tables()
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8]
+
+
+def _sub_word(word: int) -> int:
+    return (
+        (SBOX[(word >> 24) & 0xFF] << 24)
+        | (SBOX[(word >> 16) & 0xFF] << 16)
+        | (SBOX[(word >> 8) & 0xFF] << 8)
+        | SBOX[word & 0xFF]
+    )
+
+
+def _rot_word(word: int) -> int:
+    return ((word << 8) | (word >> 24)) & 0xFFFFFFFF
+
+
+class AES:
+    """An AES cipher instance bound to one key.
+
+    >>> cipher = AES(bytes(16))
+    >>> ct = cipher.encrypt_block(bytes(16))
+    >>> cipher.decrypt_block(ct) == bytes(16)
+    True
+    """
+
+    __slots__ = ("_round_keys", "rounds", "key_size")
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"AES key must be 16, 24 or 32 bytes, got {len(key)}")
+        self.key_size = len(key)
+        nk = len(key) // 4
+        self.rounds = nk + 6
+        self._round_keys = self._expand_key(key, nk, self.rounds)
+
+    @staticmethod
+    def _expand_key(key: bytes, nk: int, rounds: int) -> list[int]:
+        words = [int.from_bytes(key[4 * i : 4 * i + 4], "big") for i in range(nk)]
+        for i in range(nk, 4 * (rounds + 1)):
+            temp = words[i - 1]
+            if i % nk == 0:
+                temp = _sub_word(_rot_word(temp)) ^ (_RCON[i // nk - 1] << 24)
+            elif nk > 6 and i % nk == 4:
+                temp = _sub_word(temp)
+            words.append(words[i - nk] ^ temp)
+        return words
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        rk = self._round_keys
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        sbox = SBOX
+
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+
+        k = 4
+        for _ in range(self.rounds - 1):
+            u0 = (
+                t0[(s0 >> 24) & 0xFF]
+                ^ t1[(s1 >> 16) & 0xFF]
+                ^ t2[(s2 >> 8) & 0xFF]
+                ^ t3[s3 & 0xFF]
+                ^ rk[k]
+            )
+            u1 = (
+                t0[(s1 >> 24) & 0xFF]
+                ^ t1[(s2 >> 16) & 0xFF]
+                ^ t2[(s3 >> 8) & 0xFF]
+                ^ t3[s0 & 0xFF]
+                ^ rk[k + 1]
+            )
+            u2 = (
+                t0[(s2 >> 24) & 0xFF]
+                ^ t1[(s3 >> 16) & 0xFF]
+                ^ t2[(s0 >> 8) & 0xFF]
+                ^ t3[s1 & 0xFF]
+                ^ rk[k + 2]
+            )
+            u3 = (
+                t0[(s3 >> 24) & 0xFF]
+                ^ t1[(s0 >> 16) & 0xFF]
+                ^ t2[(s1 >> 8) & 0xFF]
+                ^ t3[s2 & 0xFF]
+                ^ rk[k + 3]
+            )
+            s0, s1, s2, s3 = u0, u1, u2, u3
+            k += 4
+
+        o0 = (
+            (sbox[(s0 >> 24) & 0xFF] << 24)
+            | (sbox[(s1 >> 16) & 0xFF] << 16)
+            | (sbox[(s2 >> 8) & 0xFF] << 8)
+            | sbox[s3 & 0xFF]
+        ) ^ rk[k]
+        o1 = (
+            (sbox[(s1 >> 24) & 0xFF] << 24)
+            | (sbox[(s2 >> 16) & 0xFF] << 16)
+            | (sbox[(s3 >> 8) & 0xFF] << 8)
+            | sbox[s0 & 0xFF]
+        ) ^ rk[k + 1]
+        o2 = (
+            (sbox[(s2 >> 24) & 0xFF] << 24)
+            | (sbox[(s3 >> 16) & 0xFF] << 16)
+            | (sbox[(s0 >> 8) & 0xFF] << 8)
+            | sbox[s1 & 0xFF]
+        ) ^ rk[k + 2]
+        o3 = (
+            (sbox[(s3 >> 24) & 0xFF] << 24)
+            | (sbox[(s0 >> 16) & 0xFF] << 16)
+            | (sbox[(s1 >> 8) & 0xFF] << 8)
+            | sbox[s2 & 0xFF]
+        ) ^ rk[k + 3]
+
+        return (
+            o0.to_bytes(4, "big")
+            + o1.to_bytes(4, "big")
+            + o2.to_bytes(4, "big")
+            + o3.to_bytes(4, "big")
+        )
+
+    # -- Decryption (byte-oriented inverse cipher; not on the fast path) --
+
+    def _round_key_bytes(self, round_index: int) -> list[int]:
+        words = self._round_keys[4 * round_index : 4 * round_index + 4]
+        out: list[int] = []
+        for word in words:
+            out.extend(word.to_bytes(4, "big"))
+        return out
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        state = [b ^ k for b, k in zip(state, self._round_key_bytes(self.rounds))]
+        for rnd in range(self.rounds - 1, 0, -1):
+            state = _inv_shift_rows(state)
+            state = [INV_SBOX[b] for b in state]
+            state = [b ^ k for b, k in zip(state, self._round_key_bytes(rnd))]
+            state = _inv_mix_columns(state)
+        state = _inv_shift_rows(state)
+        state = [INV_SBOX[b] for b in state]
+        state = [b ^ k for b, k in zip(state, self._round_key_bytes(0))]
+        return bytes(state)
+
+
+def _inv_shift_rows(state: list[int]) -> list[int]:
+    """Inverse ShiftRows on a column-major 16-byte state."""
+    out = [0] * 16
+    for col in range(4):
+        for row in range(4):
+            out[4 * ((col + row) % 4) + row] = state[4 * col + row]
+    return out
+
+
+def _inv_mix_columns(state: list[int]) -> list[int]:
+    out = [0] * 16
+    for col in range(4):
+        b0, b1, b2, b3 = state[4 * col : 4 * col + 4]
+        out[4 * col + 0] = (
+            _gf_mul(b0, 14) ^ _gf_mul(b1, 11) ^ _gf_mul(b2, 13) ^ _gf_mul(b3, 9)
+        )
+        out[4 * col + 1] = (
+            _gf_mul(b0, 9) ^ _gf_mul(b1, 14) ^ _gf_mul(b2, 11) ^ _gf_mul(b3, 13)
+        )
+        out[4 * col + 2] = (
+            _gf_mul(b0, 13) ^ _gf_mul(b1, 9) ^ _gf_mul(b2, 14) ^ _gf_mul(b3, 11)
+        )
+        out[4 * col + 3] = (
+            _gf_mul(b0, 11) ^ _gf_mul(b1, 13) ^ _gf_mul(b2, 9) ^ _gf_mul(b3, 14)
+        )
+    return out

@@ -1,0 +1,69 @@
+"""AES-CMAC (RFC 4493): a variable-length-secure MAC built on AES.
+
+APNA computes a MAC over *every packet* a host sends, keyed with the
+host<->AS shared key (paper Section IV-D2).  Packets have variable length,
+so plain CBC-MAC would be forgeable; CMAC is the standard fix and is what
+this reproduction uses for packet authentication.
+"""
+
+from __future__ import annotations
+
+from .aes import AES, BLOCK_SIZE
+from .util import xor_bytes
+
+_R128 = 0x87
+
+
+def _left_shift(block: bytes) -> bytes:
+    value = int.from_bytes(block, "big") << 1
+    out = value & ((1 << 128) - 1)
+    if value >> 128:
+        out ^= _R128
+    return out.to_bytes(BLOCK_SIZE, "big")
+
+
+class Cmac:
+    """A reusable CMAC instance bound to one AES key.
+
+    Subkeys K1/K2 are derived once at construction (RFC 4493 Section 2.3),
+    making repeated ``tag`` calls cheap.
+    """
+
+    __slots__ = ("_cipher", "_k1", "_k2")
+
+    def __init__(self, key: bytes) -> None:
+        self._cipher = AES(key)
+        zero = self._cipher.encrypt_block(bytes(BLOCK_SIZE))
+        self._k1 = _left_shift(zero)
+        self._k2 = _left_shift(self._k1)
+
+    def tag(self, message: bytes, length: int = BLOCK_SIZE) -> bytes:
+        """Compute the CMAC tag, optionally truncated to ``length`` bytes."""
+        if not 1 <= length <= BLOCK_SIZE:
+            raise ValueError("tag length must be between 1 and 16 bytes")
+        n_blocks = max(1, (len(message) + BLOCK_SIZE - 1) // BLOCK_SIZE)
+        complete = bool(message) and len(message) % BLOCK_SIZE == 0
+
+        last = message[(n_blocks - 1) * BLOCK_SIZE :]
+        if complete:
+            last = xor_bytes(last, self._k1)
+        else:
+            padded = last + b"\x80" + bytes(BLOCK_SIZE - len(last) - 1)
+            last = xor_bytes(padded, self._k2)
+
+        state = bytes(BLOCK_SIZE)
+        encrypt = self._cipher.encrypt_block
+        for i in range(n_blocks - 1):
+            state = encrypt(xor_bytes(state, message[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE]))
+        return encrypt(xor_bytes(state, last))[:length]
+
+    def verify(self, message: bytes, tag: bytes) -> bool:
+        """Verify a (possibly truncated) tag in constant time."""
+        from .util import ct_eq
+
+        return ct_eq(self.tag(message, len(tag)), tag)
+
+
+def cmac(key: bytes, message: bytes, length: int = BLOCK_SIZE) -> bytes:
+    """One-shot AES-CMAC."""
+    return Cmac(key).tag(message, length)

@@ -1,0 +1,65 @@
+"""Random number generation for the APNA stack.
+
+Two sources are provided behind one tiny interface:
+
+* :class:`SystemRng` wraps ``os.urandom`` for real deployments.
+* :class:`DeterministicRng` is an AES-CTR based DRBG so that simulations,
+  tests and benchmarks are exactly reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .aes import AES
+from .kdf import hkdf
+
+
+class SystemRng:
+    """Operating-system randomness."""
+
+    def read(self, n: int) -> bytes:
+        return os.urandom(n)
+
+    def randint(self, upper: int) -> int:
+        """Uniform integer in [0, upper)."""
+        if upper <= 0:
+            raise ValueError("upper bound must be positive")
+        n_bytes = (upper.bit_length() + 7) // 8 + 1
+        return int.from_bytes(self.read(n_bytes), "big") % upper
+
+
+class DeterministicRng:
+    """AES-CTR deterministic random bit generator seeded from bytes or int."""
+
+    def __init__(self, seed: bytes | int | str) -> None:
+        if isinstance(seed, int):
+            seed = seed.to_bytes(16, "big", signed=False) if seed >= 0 else str(seed).encode()
+        elif isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        key = hkdf(seed, info=b"repro-drbg", length=16)
+        self._cipher = AES(key)
+        self._counter = 0
+        self._buffer = b""
+
+    def read(self, n: int) -> bytes:
+        while len(self._buffer) < n:
+            block = self._counter.to_bytes(16, "big")
+            self._buffer += self._cipher.encrypt_block(block)
+            self._counter += 1
+        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        return out
+
+    def randint(self, upper: int) -> int:
+        """Uniform integer in [0, upper)."""
+        if upper <= 0:
+            raise ValueError("upper bound must be positive")
+        n_bytes = (upper.bit_length() + 7) // 8 + 1
+        return int.from_bytes(self.read(n_bytes), "big") % upper
+
+    def uniform(self) -> float:
+        """Uniform float in [0, 1)."""
+        return int.from_bytes(self.read(7), "big") / (1 << 56)
+
+
+Rng = SystemRng | DeterministicRng

@@ -1,0 +1,34 @@
+"""Small helpers shared across the crypto substrate."""
+
+from __future__ import annotations
+
+
+def ct_eq(a: bytes, b: bytes) -> bool:
+    """Constant-time byte-string comparison.
+
+    Accumulates a difference mask over the full length of both inputs so
+    that the running time does not depend on the position of the first
+    mismatch.  Inputs of different lengths compare unequal (length is not
+    considered secret).
+    """
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} != {len(b)}")
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(
+        len(a), "big"
+    )
+
+
+def inc_counter(block: bytes, width: int = 16) -> bytes:
+    """Increment a big-endian counter block, wrapping modulo 2**(8*width)."""
+    value = (int.from_bytes(block, "big") + 1) % (1 << (8 * width))
+    return value.to_bytes(width, "big")

@@ -1,0 +1,20 @@
+"""APNA DNS substrate (paper Section VII-A).
+
+Receive-only EphIDs published under domain names, DNSSEC-style record
+signing, and encrypted query/response over APNA sessions.
+"""
+
+from .client import DnsClient
+from .records import DnsError, DnsQuery, DnsRecord, DnsResponse
+from .server import DnsServer, DnsZone, publish_service
+
+__all__ = [
+    "DnsClient",
+    "DnsError",
+    "DnsQuery",
+    "DnsRecord",
+    "DnsResponse",
+    "DnsServer",
+    "DnsZone",
+    "publish_service",
+]

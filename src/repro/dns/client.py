@@ -1,0 +1,86 @@
+"""Encrypted DNS resolution for APNA hosts (paper Section VII-A).
+
+The resolver opens an APNA session to a DNS server's EphID (by default
+the one its own AS handed out at bootstrap; a privacy-conscious host can
+point it at any trusted DNS server's certificate instead) and sends the
+query as 0-RTT early data.  Responses are verified against the zone key
+before the record is handed to the application.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..core.certs import EphIdCertificate
+from ..wire.transport import PROTO_DNS
+from .records import DnsError, DnsQuery, DnsRecord, DnsResponse
+
+if TYPE_CHECKING:
+    from ..core.autonomous_system import ApnaHostNode
+
+
+class DnsClient:
+    """A resolver bound to one host node."""
+
+    def __init__(
+        self,
+        host: "ApnaHostNode",
+        zone_public: bytes,
+        *,
+        server_cert: EphIdCertificate | None = None,
+        port: int = 5353,
+    ) -> None:
+        self.host = host
+        self.zone_public = zone_public
+        cert = server_cert if server_cert is not None else host.stack.dns_cert
+        if cert is None:
+            raise DnsError("host has no DNS server certificate (not bootstrapped?)")
+        self.server_cert = cert
+        self.port = port
+        self._pending: dict[str, list[Callable[[DnsRecord | None], None]]] = {}
+        self.resolved = 0
+        self.failures = 0
+        host.listen(port, self._on_response)
+
+    def resolve(self, name: str, callback: Callable[[DnsRecord | None], None]) -> None:
+        """Resolve ``name``; the callback gets a verified record or None.
+
+        The query rides as 0-RTT early data on a fresh session, so a
+        lookup costs a single round trip and is encrypted end to end.
+        """
+        self._pending.setdefault(name, []).append(callback)
+        self.host.connect(
+            self.server_cert,
+            early_data=DnsQuery(name).pack(),
+            src_port=self.port,
+            dst_port=53,
+            proto=PROTO_DNS,
+        )
+
+    def _on_response(self, session, transport, data: bytes) -> None:
+        if transport.proto != PROTO_DNS:
+            return
+        response = DnsResponse.parse(data)
+        if not response.found or response.record is None:
+            self.failures += 1
+            self._complete_any(None)
+            return
+        record = response.record
+        try:
+            record.verify(self.zone_public)
+        except DnsError:
+            self.failures += 1
+            self._complete_any(None)
+            return
+        self.resolved += 1
+        callbacks = self._pending.pop(record.name, [])
+        for callback in callbacks:
+            callback(record)
+
+    def _complete_any(self, result: DnsRecord | None) -> None:
+        # Negative responses carry no name; complete the oldest query.
+        for name in list(self._pending):
+            callbacks = self._pending.pop(name)
+            for callback in callbacks:
+                callback(result)
+            break

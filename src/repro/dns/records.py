@@ -1,0 +1,148 @@
+"""DNS record and message formats for APNA (paper Section VII-A).
+
+In APNA, DNS maps a domain name to the server's *receive-only* EphID and
+its certificate: "the DNS server returns the EphID with the corresponding
+certificate for a requested domain name."  Records are DNSSEC-style
+signed by the zone so a resolver can detect tampering (the paper assumes
+DNSSEC for record authentication).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..core.certs import EPHID_CERT_SIZE, EphIdCertificate
+from ..core.errors import CertError
+from ..core.keys import SigningKeyPair
+from ..crypto import ed25519
+
+_MAX_NAME = 255
+
+
+class DnsError(CertError):
+    """DNS lookup or record validation failure."""
+
+
+def _pack_name(name: str) -> bytes:
+    raw = name.encode("idna") if any(ord(c) > 127 for c in name) else name.encode()
+    if not raw or len(raw) > _MAX_NAME:
+        raise DnsError(f"bad domain name {name!r}")
+    return struct.pack(">B", len(raw)) + raw
+
+
+def _unpack_name(data: bytes, offset: int) -> tuple[str, int]:
+    if offset >= len(data):
+        raise DnsError("truncated name")
+    size = data[offset]
+    end = offset + 1 + size
+    if end > len(data):
+        raise DnsError("truncated name")
+    return data[offset + 1 : end].decode(), end
+
+
+@dataclass(frozen=True)
+class DnsRecord:
+    """A signed binding: domain name -> (receive-only EphID, certificate).
+
+    ``ipv4_hint`` supports the gateway deployment (Section VII-D), where
+    legacy clients still need an A-record-like address; it may be zero
+    (absent) — the paper suggests removing it for server host privacy.
+    """
+
+    name: str
+    cert: EphIdCertificate
+    ipv4_hint: int = 0
+    signature: bytes = field(default=bytes(ed25519.SIGNATURE_SIZE), repr=False)
+
+    _CONTEXT = b"apna-dns-record-v1:"
+
+    def tbs(self) -> bytes:
+        return (
+            self._CONTEXT
+            + _pack_name(self.name)
+            + self.cert.pack()
+            + struct.pack(">I", self.ipv4_hint)
+        )
+
+    @classmethod
+    def issue(
+        cls,
+        zone_signer: SigningKeyPair,
+        name: str,
+        cert: EphIdCertificate,
+        *,
+        ipv4_hint: int = 0,
+    ) -> "DnsRecord":
+        unsigned = cls(name=name, cert=cert, ipv4_hint=ipv4_hint)
+        return cls(
+            name=name,
+            cert=cert,
+            ipv4_hint=ipv4_hint,
+            signature=zone_signer.sign(unsigned.tbs()),
+        )
+
+    def verify(self, zone_public: bytes) -> None:
+        if not ed25519.verify(zone_public, self.tbs(), self.signature):
+            raise DnsError(f"DNS record for {self.name!r} failed zone signature")
+
+    def pack(self) -> bytes:
+        return (
+            _pack_name(self.name)
+            + self.cert.pack()
+            + struct.pack(">I", self.ipv4_hint)
+            + self.signature
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "DnsRecord":
+        name, offset = _unpack_name(data, 0)
+        cert_end = offset + EPHID_CERT_SIZE
+        if cert_end + 4 + ed25519.SIGNATURE_SIZE > len(data):
+            raise DnsError("truncated DNS record")
+        cert = EphIdCertificate.parse(data[offset:cert_end])
+        (ipv4_hint,) = struct.unpack_from(">I", data, cert_end)
+        sig_start = cert_end + 4
+        signature = data[sig_start : sig_start + ed25519.SIGNATURE_SIZE]
+        return cls(name=name, cert=cert, ipv4_hint=ipv4_hint, signature=signature)
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.pack())
+
+
+@dataclass(frozen=True)
+class DnsQuery:
+    """A name lookup."""
+
+    name: str
+
+    def pack(self) -> bytes:
+        return _pack_name(self.name)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "DnsQuery":
+        name, _ = _unpack_name(data, 0)
+        return cls(name)
+
+
+@dataclass(frozen=True)
+class DnsResponse:
+    """Lookup result: found record or authenticated denial."""
+
+    found: bool
+    record: DnsRecord | None = None
+
+    def pack(self) -> bytes:
+        if self.found:
+            assert self.record is not None
+            return b"\x01" + self.record.pack()
+        return b"\x00"
+
+    @classmethod
+    def parse(cls, data: bytes) -> "DnsResponse":
+        if not data:
+            raise DnsError("empty DNS response")
+        if data[0] == 0:
+            return cls(found=False)
+        return cls(found=True, record=DnsRecord.parse(data[1:]))

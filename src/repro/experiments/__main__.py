@@ -1,0 +1,27 @@
+"""``python -m repro.experiments`` — run every paper reproduction."""
+
+import importlib
+import sys
+import time
+
+from . import ALL_RUNNERS
+
+
+def main(argv: list[str]) -> int:
+    selected = argv or ALL_RUNNERS
+    unknown = [name for name in selected if name not in ALL_RUNNERS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_RUNNERS)}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    for name in selected:
+        module = importlib.import_module(f".{name}", package=__package__)
+        module.run()
+    elapsed = time.perf_counter() - started
+    print(f"\n{len(selected)} experiments completed in {elapsed:,.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,59 @@
+"""Shared scaffolding for the experiment runners (E1-E10)."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ..core.autonomous_system import ApnaAutonomousSystem
+from ..core.config import ApnaConfig
+from ..core.rpki import RpkiDirectory, TrustAnchor
+from ..crypto.rng import DeterministicRng
+from ..netsim import Network
+
+
+def build_bench_world(
+    *,
+    seed: int = 1,
+    hosts_per_as: int = 1,
+    config: ApnaConfig | None = None,
+    latency: float = 0.010,
+    access_latency: float = 0.001,
+) -> SimpleNamespace:
+    """A deterministic two-AS world sized for benchmarking."""
+    rng = DeterministicRng(seed)
+    network = Network()
+    config = config or ApnaConfig()
+    anchor = TrustAnchor(rng)
+    rpki = RpkiDirectory(anchor.public_key, network.scheduler.clock())
+    as_a = ApnaAutonomousSystem(100, network, rpki, anchor, config=config, rng=rng)
+    as_b = ApnaAutonomousSystem(200, network, rpki, anchor, config=config, rng=rng)
+    as_a.connect_to(as_b, latency=latency, bandwidth=1e10)
+    hosts_a = []
+    hosts_b = []
+    for i in range(hosts_per_as):
+        host = as_a.attach_host(f"a{i}", latency=access_latency)
+        host.bootstrap()
+        hosts_a.append(host)
+        host = as_b.attach_host(f"b{i}", latency=access_latency)
+        host.bootstrap()
+        hosts_b.append(host)
+    network.compute_routes()
+    return SimpleNamespace(
+        rng=rng,
+        network=network,
+        anchor=anchor,
+        rpki=rpki,
+        as_a=as_a,
+        as_b=as_b,
+        hosts_a=hosts_a,
+        hosts_b=hosts_b,
+        config=config,
+    )
+
+
+def print_header(title: str, paper_reference: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print(f"(reproduces {paper_reference})")
+    print("=" * 72)

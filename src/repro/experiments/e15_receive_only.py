@@ -1,0 +1,244 @@
+"""E15 — Receive-only EphIDs vs shutoff-DoS on published services (§VII-A).
+
+"Publishing certificates to the DNS raises a problem: a shutoff request
+against a published EphID would terminate any ongoing communication
+sessions that use this EphID.  A naive solution is to update the DNS
+entry with a new EphID whenever the published EphID becomes invalid.
+However, this would become burdensome for the DNS infrastructure if
+attackers continuously issue shutoff requests against a domain.  Our
+solution is to define receive-only EphIDs [...] Since they are never
+used as the source identifier, they cannot become the target of shutoff
+requests."
+
+This experiment stages the attack against both designs:
+
+* **naive** — the server publishes an ordinary EphID and also serves
+  with it.  A malicious client that receives one response packet holds
+  valid Fig. 5 shutoff evidence against the *published* EphID.
+* **receive-only (the paper's design)** — the published EphID never
+  sources a packet; each client is served from a dedicated serving
+  EphID, so a malicious client's evidence only ever implicates its own
+  serving EphID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.certs import FLAG_RECEIVE_ONLY
+from ..dns.server import DnsZone
+from ..metrics import format_table
+from ..wire.apna import ApnaPacket
+from ..world import build_two_as_internet
+from .common import print_header
+
+
+@dataclass
+class DesignOutcome:
+    design: str
+    shutoff_accepted: bool
+    benign_sessions_broken: int
+    benign_sessions_total: int
+    dns_updates_forced: int
+    published_ephid_survives: bool
+
+
+@dataclass
+class E15Result:
+    naive: DesignOutcome
+    receive_only: DesignOutcome
+    attack_rounds: int
+
+    @property
+    def mitigation_works(self) -> bool:
+        return (
+            self.naive.benign_sessions_broken == self.naive.benign_sessions_total
+            and self.naive.dns_updates_forced >= self.attack_rounds
+            and self.receive_only.benign_sessions_broken == 0
+            and self.receive_only.dns_updates_forced == 0
+            and self.receive_only.published_ephid_survives
+        )
+
+
+def _capture_frames(host) -> list[bytes]:
+    captured: list[bytes] = []
+    original = host.handle_frame
+
+    def wrapper(frame_bytes, *, from_node):
+        captured.append(frame_bytes)
+        original(frame_bytes, from_node=from_node)
+
+    host.handle_frame = wrapper
+    return captured
+
+
+def _serve_echo(server) -> None:
+    server.listen(
+        80,
+        lambda session, transport, data: server.send_data(
+            session, b"OK " + data, dst_port=transport.src_port
+        ),
+    )
+
+
+def _probe_sessions(world, clients, sessions) -> int:
+    """How many benign sessions still deliver server responses."""
+    alive = 0
+    for client, session in zip(clients, sessions):
+        before = len(client.inbox)
+        client.send_data(session, b"still there?", dst_port=80)
+        world.network.run()
+        if len(client.inbox) > before:
+            alive += 1
+    return alive
+
+
+def _run_naive(n_clients: int, attack_rounds: int) -> DesignOutcome:
+    world = build_two_as_internet(seed="e15-naive")
+    server = world.attach_host("server", side="b")
+    zone = DnsZone(world.rng)
+    _serve_echo(server)
+
+    published = server.acquire_ephid_direct()
+    zone.register("shop.example", published.cert)
+    baseline_updates = zone.updates
+
+    clients = [world.attach_host(f"client-{i}", side="a") for i in range(n_clients)]
+    sessions = []
+    for client in clients:
+        session = client.connect(published.cert, early_data=b"hello", dst_port=80)
+        sessions.append(session)
+    world.network.run()
+
+    attacker = world.attach_host("attacker", side="a")
+    accepted = False
+    for _round in range(attack_rounds):
+        captured = _capture_frames(attacker)
+        attacker.connect(published.cert, early_data=b"hi", dst_port=80)
+        world.network.run()
+        # Evidence: the last packet the attacker received from the
+        # published EphID (the server's response).
+        evidence = next(
+            ApnaPacket.from_wire(frame)
+            for frame in reversed(captured)
+            if ApnaPacket.from_wire(frame).header.src_ephid == published.ephid
+        )
+        signer = attacker.owned[evidence.header.dst_ephid]
+        request = attacker.stack.build_shutoff_request(evidence.to_wire(), signer)
+        response = world.as_b.aa.handle_shutoff(request)
+        accepted = accepted or response.accepted
+        # The naive recovery: mint a fresh EphID, update DNS.
+        published = server.acquire_ephid_direct()
+        zone.register("shop.example", published.cert)
+
+    alive = _probe_sessions(world, clients, sessions)
+    return DesignOutcome(
+        design="naive (publish a normal EphID)",
+        shutoff_accepted=accepted,
+        benign_sessions_broken=n_clients - alive,
+        benign_sessions_total=n_clients,
+        dns_updates_forced=zone.updates - baseline_updates,
+        published_ephid_survives=False,
+    )
+
+
+def _run_receive_only(n_clients: int, attack_rounds: int) -> DesignOutcome:
+    world = build_two_as_internet(seed="e15-ro")
+    server = world.attach_host("server", side="b")
+    zone = DnsZone(world.rng)
+    _serve_echo(server)
+
+    published = server.acquire_ephid_direct(flags=FLAG_RECEIVE_ONLY)
+    zone.register("shop.example", published.cert)
+    baseline_updates = zone.updates
+
+    clients = [world.attach_host(f"client-{i}", side="a") for i in range(n_clients)]
+    sessions = []
+    for client in clients:
+        client.connect(published.cert, early_data=b"hello", dst_port=80)
+        world.network.run()
+        # The VII-A flow: the client's live session is the serving one.
+        serving_session = next(
+            session
+            for (src, _dst), session in client.sessions.items()
+            if session.peer_cert.ephid != published.ephid
+        )
+        sessions.append(serving_session)
+
+    attacker = world.attach_host("attacker", side="a")
+    accepted = False
+    for _round in range(attack_rounds):
+        captured = _capture_frames(attacker)
+        attacker.connect(published.cert, early_data=b"hi", dst_port=80)
+        world.network.run()
+        # The attacker never sees a packet sourced from the published
+        # EphID — only from its private serving EphID.
+        assert not any(
+            ApnaPacket.from_wire(f).header.src_ephid == published.ephid
+            for f in captured
+        )
+        evidence = ApnaPacket.from_wire(captured[-1])
+        signer = attacker.owned[evidence.header.dst_ephid]
+        request = attacker.stack.build_shutoff_request(evidence.to_wire(), signer)
+        response = world.as_b.aa.handle_shutoff(request)
+        accepted = accepted or response.accepted
+
+    alive = _probe_sessions(world, clients, sessions)
+    return DesignOutcome(
+        design="receive-only (the paper's design)",
+        shutoff_accepted=accepted,
+        benign_sessions_broken=n_clients - alive,
+        benign_sessions_total=n_clients,
+        dns_updates_forced=zone.updates - baseline_updates,
+        published_ephid_survives=True,
+    )
+
+
+def run(
+    *, n_clients: int = 4, attack_rounds: int = 3, quiet: bool = False
+) -> E15Result:
+    result = E15Result(
+        naive=_run_naive(n_clients, attack_rounds),
+        receive_only=_run_receive_only(n_clients, attack_rounds),
+        attack_rounds=attack_rounds,
+    )
+    if not quiet:
+        report(result)
+    return result
+
+
+def report(result: E15Result) -> None:
+    print_header(
+        "E15: receive-only EphIDs vs shutoff-DoS", "paper Section VII-A"
+    )
+    rows = [
+        (
+            outcome.design,
+            "yes" if outcome.shutoff_accepted else "no",
+            f"{outcome.benign_sessions_broken}/{outcome.benign_sessions_total}",
+            outcome.dns_updates_forced,
+            "yes" if outcome.published_ephid_survives else "no",
+        )
+        for outcome in (result.naive, result.receive_only)
+    ]
+    print(
+        format_table(
+            (
+                "design",
+                "attacker shutoff accepted",
+                "benign sessions broken",
+                "DNS updates forced",
+                "published EphID survives",
+            ),
+            rows,
+        )
+    )
+    verdict = "HOLDS" if result.mitigation_works else "FAILS"
+    print(
+        "\nshape claim (receive-only EphIDs cannot be shutoff targets; the "
+        f"DNS churn and collateral damage of the naive design disappear): {verdict}"
+    )
+
+
+if __name__ == "__main__":
+    run()

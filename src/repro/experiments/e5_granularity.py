@@ -1,0 +1,157 @@
+"""E5 — EphID granularity ablation (paper Section VIII-A).
+
+The paper describes four granularities qualitatively; this experiment
+quantifies the trade-off triangle for a fixed workload (one host, F
+flows, P packets per flow, A applications):
+
+* issuance load on the MS (EphID requests),
+* sender-flow linkability (fraction of same-host flow pairs an observer
+  can link from headers alone),
+* shutoff blast radius (how many flows die when one EphID is revoked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..attacks import FlowLinker
+from ..core.granularity import FlowKey, make_policy
+from ..metrics import format_table
+from .common import build_bench_world, print_header
+
+PAPER_EXPECTATION = {
+    "per-host": dict(linkability="total", blast="all flows"),
+    "per-application": dict(linkability="per app", blast="app's flows"),
+    "per-flow": dict(linkability="none", blast="one flow"),
+    "per-packet": dict(linkability="none", blast="none (per packet)"),
+}
+
+
+@dataclass
+class PolicyPoint:
+    policy: str
+    ms_requests: int
+    linkage_score: float
+    blast_radius_flows: int
+    packets: int
+
+
+@dataclass
+class E5Result:
+    points: list[PolicyPoint]
+    flows: int
+
+    def by_name(self, name: str) -> PolicyPoint:
+        return next(p for p in self.points if p.policy == name)
+
+    @property
+    def ordering_holds(self) -> bool:
+        """Requests: host <= app <= flow <= packet; privacy the reverse."""
+        host = self.by_name("per-host")
+        app = self.by_name("per-application")
+        flow = self.by_name("per-flow")
+        packet = self.by_name("per-packet")
+        requests_ordered = (
+            host.ms_requests <= app.ms_requests <= flow.ms_requests < packet.ms_requests
+        )
+        linkage_ordered = (
+            host.linkage_score >= app.linkage_score > flow.linkage_score
+            and flow.linkage_score == packet.linkage_score == 0.0
+        )
+        blast_ordered = (
+            host.blast_radius_flows
+            >= app.blast_radius_flows
+            >= flow.blast_radius_flows
+            >= packet.blast_radius_flows
+        )
+        return requests_ordered and linkage_ordered and blast_ordered
+
+
+def run(
+    *,
+    flows: int = 12,
+    packets_per_flow: int = 4,
+    applications: int = 3,
+    quiet: bool = False,
+) -> E5Result:
+    world = build_bench_world(seed=5)
+    host = world.hosts_a[0]
+    clock = world.network.scheduler.clock()
+
+    points = []
+    for name in ("per-host", "per-application", "per-flow", "per-packet"):
+        policy = make_policy(
+            name,
+            lambda flags, lifetime: host.acquire_ephid_direct(flags, lifetime),
+            clock,
+        )
+        linker = FlowLinker()
+        flow_sources: dict[int, set[bytes]] = {}
+        total_packets = 0
+        for f in range(flows):
+            flow = FlowKey(200, bytes([f]) * 16, 1000 + f, 443)
+            app = f"app-{f % applications}"
+            sources: set[bytes] = set()
+            for _p in range(packets_per_flow):
+                owned = policy.ephid_for(flow=flow, app=app)
+                sources.add(owned.ephid)
+                total_packets += 1
+            flow_sources[f] = sources
+            # One observation per flow for pair-linkability scoring.
+            linker.observe(next(iter(sources)), true_host=1)
+
+        # Blast radius: revoke the EphID used by flow 0; count flows that
+        # share it (fate-sharing, Section III-B).
+        victim = next(iter(flow_sources[0]))
+        blast = sum(1 for sources in flow_sources.values() if victim in sources)
+        if name == "per-packet":
+            # Only a single packet dies, never a whole flow.
+            blast = 0
+
+        points.append(
+            PolicyPoint(
+                policy=name,
+                ms_requests=policy.requests_made,
+                linkage_score=linker.linkage_score(),
+                blast_radius_flows=blast,
+                packets=total_packets,
+            )
+        )
+    result = E5Result(points=points, flows=flows)
+    if not quiet:
+        report(result)
+    return result
+
+
+def report(result: E5Result) -> None:
+    print_header("E5: EphID granularity ablation", "paper Section VIII-A")
+    rows = [
+        (
+            p.policy,
+            p.ms_requests,
+            f"{p.linkage_score:.2f}",
+            f"{p.blast_radius_flows}/{result.flows}",
+            PAPER_EXPECTATION[p.policy]["linkability"],
+            PAPER_EXPECTATION[p.policy]["blast"],
+        )
+        for p in result.points
+    ]
+    print(
+        format_table(
+            (
+                "policy",
+                "MS requests",
+                "linkability",
+                "shutoff blast",
+                "paper: linkability",
+                "paper: blast",
+            ),
+            rows,
+        )
+    )
+    verdict = "HOLDS" if result.ordering_holds else "FAILS"
+    print(f"\nshape claim (privacy/cost/blast trade-off ordering): {verdict}")
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,110 @@
+"""E8 — Header and encapsulation overhead (paper Fig. 7 and Section VII-D).
+
+The APNA header costs 48 bytes (56 with the replay nonce), plus the
+GRE/IPv4 encapsulation of the incremental deployment (24 bytes) and the
+AEAD tag + in-payload transport shim.  This experiment computes goodput
+fractions across the Fig. 8 packet sizes against a plain IPv4+UDP stack,
+making the privacy tax explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import format_table
+from ..wire.apna import HEADER_SIZE, HEADER_SIZE_WITH_NONCE
+from ..wire.gre import ENCAP_OVERHEAD
+from ..wire.ipv4 import HEADER_SIZE as IPV4_HEADER_SIZE
+from ..wire.transport import HEADER_SIZE as TRANSPORT_HEADER_SIZE
+from ..workload.packets import PAPER_PACKET_SIZES
+from .common import print_header
+
+UDP_HEADER = 8
+AEAD_TAG = 16
+SESSION_SEQ = 8
+
+
+@dataclass
+class OverheadPoint:
+    size: int
+    ipv4_goodput: float
+    apna_native_goodput: float
+    apna_deployed_goodput: float  # with GRE/IPv4 encapsulation
+    apna_nonce_goodput: float  # with the replay nonce
+
+
+@dataclass
+class E8Result:
+    points: list[OverheadPoint]
+    apna_fixed_overhead: int
+    deployed_fixed_overhead: int
+
+    @property
+    def overhead_acceptable(self) -> bool:
+        """At MTU-sized packets the deployed goodput stays above 90%."""
+        largest = self.points[-1]
+        return largest.apna_deployed_goodput > 0.90
+
+
+def _goodput(total: int, overhead: int) -> float:
+    if total <= overhead:
+        return 0.0
+    return (total - overhead) / total
+
+
+def run(*, sizes: tuple[int, ...] = PAPER_PACKET_SIZES, quiet: bool = False) -> E8Result:
+    ipv4_overhead = IPV4_HEADER_SIZE + UDP_HEADER
+    apna_overhead = HEADER_SIZE + SESSION_SEQ + AEAD_TAG + TRANSPORT_HEADER_SIZE
+    deployed_overhead = apna_overhead + ENCAP_OVERHEAD
+    nonce_overhead = deployed_overhead + (HEADER_SIZE_WITH_NONCE - HEADER_SIZE)
+
+    points = [
+        OverheadPoint(
+            size=size,
+            ipv4_goodput=_goodput(size, ipv4_overhead),
+            apna_native_goodput=_goodput(size, apna_overhead),
+            apna_deployed_goodput=_goodput(size, deployed_overhead),
+            apna_nonce_goodput=_goodput(size, nonce_overhead),
+        )
+        for size in sizes
+    ]
+    result = E8Result(
+        points=points,
+        apna_fixed_overhead=apna_overhead,
+        deployed_fixed_overhead=deployed_overhead,
+    )
+    if not quiet:
+        report(result)
+    return result
+
+
+def report(result: E8Result) -> None:
+    print_header("E8: header & encapsulation overhead", "paper Fig. 7 + Section VII-D")
+    print(
+        f"APNA fixed overhead: {result.apna_fixed_overhead} B native "
+        f"({HEADER_SIZE} header + {SESSION_SEQ} seq + {AEAD_TAG} tag + "
+        f"{TRANSPORT_HEADER_SIZE} transport), "
+        f"{result.deployed_fixed_overhead} B with GRE/IPv4 deployment"
+    )
+    rows = [
+        (
+            p.size,
+            f"{100 * p.ipv4_goodput:.1f}%",
+            f"{100 * p.apna_native_goodput:.1f}%",
+            f"{100 * p.apna_deployed_goodput:.1f}%",
+            f"{100 * p.apna_nonce_goodput:.1f}%",
+        )
+        for p in result.points
+    ]
+    print(
+        format_table(
+            ("size (B)", "IPv4+UDP", "APNA native", "APNA+GRE/IPv4", "+replay nonce"),
+            rows,
+        )
+    )
+    verdict = "HOLDS" if result.overhead_acceptable else "FAILS"
+    print(f"\nshape claim (>90% goodput at MTU-size packets): {verdict}")
+
+
+if __name__ == "__main__":
+    run()

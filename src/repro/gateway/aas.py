@@ -1,0 +1,63 @@
+"""APNA-as-a-Service (paper Section VIII-E).
+
+An upstream ISP offers APNA accountability and privacy to a *downstream
+AS* that has not deployed APNA itself.  "A downstream AS can be viewed as
+a connection-sharing device that provides APNA connections to its hosts"
+— so the deployment composes directly out of the Section VII-B machinery:
+the downstream AS's border infrastructure is a NAT-mode access point
+subscribed to the upstream ISP, and the downstream hosts are its clients.
+
+The benefit quantified in E5/E10: hosts of a small customer AS gain the
+upstream provider's (much larger) anonymity set, because their EphIDs are
+issued by — and attribute to — the upstream AID.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .ap import ApClientNode, NatAccessPoint
+
+if TYPE_CHECKING:
+    from ..core.autonomous_system import ApnaAutonomousSystem
+
+
+class DownstreamAs:
+    """A non-APNA customer AS consuming APNA-as-a-Service upstream."""
+
+    def __init__(
+        self,
+        downstream_aid: int,
+        upstream: "ApnaAutonomousSystem",
+        *,
+        name: str | None = None,
+        latency: float = 0.005,
+    ) -> None:
+        self.downstream_aid = downstream_aid
+        self.upstream = upstream
+        node_name = name or f"downstream-as{downstream_aid}"
+        # The downstream AS's border device is a NAT-mode AP: the ISP can
+        # verify all packets it emits, which is the deployment restriction
+        # the paper states ("the ISP needs to be able to verify all
+        # packets that are originating from the downstream ASes").
+        self.border = upstream.attach_host(
+            node_name, node_cls=NatAccessPoint, latency=latency
+        )
+        self.hosts: dict[str, ApClientNode] = {}
+
+    def bootstrap(self) -> None:
+        """Authenticate the downstream border device to the upstream ISP."""
+        self.border.bootstrap()
+
+    def attach_host(self, name: str) -> ApClientNode:
+        """Attach a downstream host; it authenticates to its own AS
+        (the AP-client bootstrap), not to the upstream ISP."""
+        client = self.border.register_client(name)
+        self.hosts[name] = client
+        return client
+
+    @property
+    def anonymity_set_hint(self) -> int:
+        """Hosts an observer must consider behind any one upstream EphID:
+        every host of the upstream AS plus all AaaS-attached hosts."""
+        return len(self.upstream.hostdb) + len(self.hosts)

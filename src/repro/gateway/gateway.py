@@ -1,0 +1,244 @@
+"""The APNA gateway (paper Section VII-D): IPv4 <-> APNA translation.
+
+A gateway lets unmodified IPv4 hosts use an APNA network.  It is itself a
+full APNA host; as a translator it maintains the flow mappings the paper
+describes:
+
+* **outbound**: each new IPv4 5-tuple flow gets its own source EphID and
+  an APNA session toward the destination's certificate (learned from DNS
+  replies, exactly the inspection trick of Section VII-D, or configured
+  statically);
+* **inbound**: each APNA flow maps to a unique *virtual endpoint* — an
+  address drawn from private space — so that two APNA flows can never
+  collapse onto the same IPv4 5-tuple at the legacy host.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.autonomous_system import ApnaHostNode
+from ..core.certs import EphIdCertificate
+from ..core.session import Session
+from ..netsim import Node
+from ..wire.ipv4 import HEADER_SIZE as IPV4_HEADER_SIZE
+from ..wire.ipv4 import Ipv4Header, PROTO_UDP, int_to_ip
+from ..wire.transport import TransportHeader, build_segment, split_segment
+
+if TYPE_CHECKING:
+    from .server import DnsZone  # pragma: no cover
+    from ..dns.records import DnsRecord
+
+#: First address of the virtual-endpoint pool (10.64.0.0/10, per the
+#: paper's "randomly drawn from a private address space").
+_VIRTUAL_POOL_START = 0x0A40_0001
+
+FlowTuple = tuple[int, int, int, int]  # src_ip, dst_ip, src_port, dst_port
+
+
+class LegacyHostNode(Node):
+    """An unmodified IPv4 host behind an APNA gateway."""
+
+    def __init__(self, name: str, ip: int, gateway_name: str) -> None:
+        super().__init__(name)
+        self.ip = ip
+        self.gateway_name = gateway_name
+        self.inbox: list[tuple[Ipv4Header, TransportHeader, bytes]] = []
+        self._responders: dict[int, callable] = {}
+
+    def send_ipv4(self, dst_ip: int, data: bytes, *, src_port: int, dst_port: int) -> None:
+        segment = build_segment(TransportHeader(src_port, dst_port), data)
+        header = Ipv4Header(
+            src=self.ip,
+            dst=dst_ip,
+            protocol=PROTO_UDP,
+            total_length=IPV4_HEADER_SIZE + len(segment),
+        )
+        self.send(self.gateway_name, header.pack() + segment)
+
+    def serve(self, port: int, responder) -> None:
+        """``responder(data) -> bytes`` answers requests arriving on ``port``."""
+        self._responders[port] = responder
+
+    def handle_frame(self, frame_bytes: bytes, *, from_node: str) -> None:
+        header = Ipv4Header.parse(frame_bytes)
+        transport, data = split_segment(frame_bytes[IPV4_HEADER_SIZE:])
+        self.inbox.append((header, transport, data))
+        responder = self._responders.get(transport.dst_port)
+        if responder is not None:
+            self.send_ipv4(
+                header.src,
+                responder(data),
+                src_port=transport.dst_port,
+                dst_port=transport.src_port,
+            )
+
+
+class ApnaGateway(ApnaHostNode):
+    """An APNA host that translates for a pool of legacy IPv4 hosts."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._legacy_by_ip: dict[int, str] = {}
+        self._legacy_names: set[str] = set()
+        self._ip_to_cert: dict[int, EphIdCertificate] = {}
+        self._flow_out: dict[FlowTuple, Session] = {}
+        self._flow_back: dict[tuple[bytes, bytes], FlowTuple] = {}
+        self._virtual_by_ip: dict[int, tuple[Session, int, int]] = {}
+        self._virtual_by_session: dict[tuple[bytes, bytes], int] = {}
+        self._next_virtual = _VIRTUAL_POOL_START
+        self.translated_out = 0
+        self.translated_in = 0
+        self.unmapped_drops = 0
+
+    # -- legacy side wiring --
+
+    def add_legacy_host(self, name: str, ip: int, *, latency: float = 0.0005) -> LegacyHostNode:
+        host = LegacyHostNode(name, ip, self.name)
+        self.assembly.network.add_node(host)
+        self.assembly.network.connect(self, host, latency=latency)
+        self._legacy_by_ip[ip] = name
+        self._legacy_names.add(name)
+        return host
+
+    def learn_mapping(self, ip: int, cert: EphIdCertificate) -> None:
+        """Record destination-IP -> certificate (the DNS-reply inspection)."""
+        self._ip_to_cert[ip] = cert
+
+    def learn_from_dns_record(self, record: "DnsRecord") -> None:
+        if record.ipv4_hint:
+            self.learn_mapping(record.ipv4_hint, record.cert)
+
+    # -- exposing a legacy server to the APNA side --
+
+    def expose_service(self, port: int, legacy_ip: int) -> None:
+        """APNA traffic arriving on ``port`` is translated toward the
+        legacy server at ``legacy_ip`` via a virtual endpoint."""
+        self.listen(port, self._service_handler(port, legacy_ip))
+
+    def _service_handler(self, port: int, legacy_ip: int):
+        def handler(session: Session, transport: TransportHeader, data: bytes) -> None:
+            key = (session.local.ephid, session.peer_cert.ephid)
+            virtual_ip = self._virtual_by_session.get(key)
+            if virtual_ip is None:
+                virtual_ip = self._allocate_virtual()
+                self._virtual_by_session[key] = virtual_ip
+                self._virtual_by_ip[virtual_ip] = (
+                    session,
+                    transport.src_port,
+                    transport.dst_port,
+                )
+            legacy_name = self._legacy_by_ip.get(legacy_ip)
+            if legacy_name is None:
+                self.unmapped_drops += 1
+                return
+            segment = build_segment(
+                TransportHeader(transport.src_port, transport.dst_port), data
+            )
+            header = Ipv4Header(
+                src=virtual_ip,
+                dst=legacy_ip,
+                protocol=PROTO_UDP,
+                total_length=IPV4_HEADER_SIZE + len(segment),
+            )
+            self.translated_in += 1
+            self.send(legacy_name, header.pack() + segment)
+
+        return handler
+
+    def _allocate_virtual(self) -> int:
+        ip = self._next_virtual
+        self._next_virtual += 1
+        return ip
+
+    # -- frame handling: legacy frames vs APNA frames --
+
+    def handle_frame(self, frame_bytes: bytes, *, from_node: str) -> None:
+        if from_node in self._legacy_names:
+            self._handle_legacy_frame(frame_bytes)
+        else:
+            super().handle_frame(frame_bytes, from_node=from_node)
+
+    def _handle_legacy_frame(self, frame_bytes: bytes) -> None:
+        header = Ipv4Header.parse(frame_bytes)
+        transport, data = split_segment(frame_bytes[IPV4_HEADER_SIZE:])
+        virtual = self._virtual_by_ip.get(header.dst)
+        if virtual is not None:
+            # A legacy server answering an APNA client via its virtual
+            # endpoint: ship it back through the mapped session.
+            session, peer_port, our_port = virtual
+            self.translated_out += 1
+            self.send_data(
+                session, data, src_port=our_port, dst_port=peer_port
+            )
+            return
+        flow: FlowTuple = (header.src, header.dst, transport.src_port, transport.dst_port)
+        session = self._flow_out.get(flow)
+        if session is not None:
+            self.translated_out += 1
+            self.send_data(
+                session, data, src_port=transport.src_port, dst_port=transport.dst_port
+            )
+            return
+        cert = self._ip_to_cert.get(header.dst)
+        if cert is None:
+            # "the host needs to statically configure the mapping" — and
+            # it has not, so the flow cannot be translated.
+            self.unmapped_drops += 1
+            return
+        # New outbound flow: fresh EphID, session, 0-RTT data.
+        session = self.connect(
+            cert,
+            early_data=data,
+            src_port=transport.src_port,
+            dst_port=transport.dst_port,
+            on_accept=self._rebind(flow),
+        )
+        self.translated_out += 1
+        self._flow_out[flow] = session
+        self._flow_back[(session.local.ephid, cert.ephid)] = flow
+
+    def _rebind(self, flow: FlowTuple):
+        """When a receive-only destination answers with a serving EphID,
+        move the flow onto the serving session."""
+
+        def on_accept(session: Session) -> None:
+            self._flow_out[flow] = session
+            self._flow_back[(session.local.ephid, session.peer_cert.ephid)] = flow
+
+        return on_accept
+
+    # -- APNA data toward legacy clients --
+
+    def _dispatch_segment(self, session: Session, transport: TransportHeader, data: bytes) -> None:
+        key = (session.local.ephid, session.peer_cert.ephid)
+        flow = self._flow_back.get(key)
+        if flow is None:
+            super()._dispatch_segment(session, transport, data)
+            return
+        src_ip, dst_ip, src_port, dst_port = flow
+        legacy_name = self._legacy_by_ip.get(src_ip)
+        if legacy_name is None:
+            self.unmapped_drops += 1
+            return
+        segment = build_segment(
+            TransportHeader(dst_port, src_port), data
+        )
+        header = Ipv4Header(
+            src=dst_ip,
+            dst=src_ip,
+            protocol=PROTO_UDP,
+            total_length=IPV4_HEADER_SIZE + len(segment),
+        )
+        self.translated_in += 1
+        self.send(legacy_name, header.pack() + segment)
+
+    def describe_flows(self) -> list[str]:
+        """Human-readable flow table (for the examples)."""
+        lines = []
+        for (src_ip, dst_ip, sport, dport), session in self._flow_out.items():
+            lines.append(
+                f"{int_to_ip(src_ip)}:{sport} -> {int_to_ip(dst_ip)}:{dport}"
+                f"  via EphID {session.local.ephid.hex()[:8]}…"
+            )
+        return lines

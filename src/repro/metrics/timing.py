@@ -1,0 +1,49 @@
+"""Wall-clock timing and table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Sequence
+
+
+class Timer:
+    """A context-manager stopwatch."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_loop(fn: Callable[[], None], *, repeat: int) -> float:
+    """Seconds to run ``fn`` ``repeat`` times."""
+    start = time.perf_counter()
+    for _ in range(repeat):
+        fn()
+    return time.perf_counter() - start
+
+
+def rate(count: int, seconds: float) -> float:
+    """Operations per second (0 for degenerate timings)."""
+    return count / seconds if seconds > 0 else 0.0
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A plain-text table matching the paper's row/series style."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Discrete-event network simulation substrate.
+
+* :mod:`repro.netsim.events` — virtual-time scheduler.
+* :mod:`repro.netsim.link` — links with latency/bandwidth/serialization.
+* :mod:`repro.netsim.node` — base class for attached entities.
+* :mod:`repro.netsim.network` — topology + shortest-path routing.
+"""
+
+from .events import EventHandle, Scheduler
+from .link import Link, LinkStats
+from .network import Network
+from .node import Node
+
+__all__ = ["EventHandle", "Link", "LinkStats", "Network", "Node", "Scheduler"]

@@ -1,0 +1,104 @@
+"""Topology container and AS-level inter-domain routing.
+
+The network holds named nodes connected by links, and computes next-hop
+forwarding tables from shortest paths over the (optionally weighted)
+topology graph with networkx — a stand-in for BGP at the AS granularity
+the paper operates on (transit ASes "simply forward packets to the next
+AS on the path", Section IV-D3).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .events import Scheduler
+from .link import Link
+from .node import Node
+
+
+class Network:
+    """A simulated network of nodes, links and routing tables."""
+
+    def __init__(self, scheduler: Scheduler | None = None) -> None:
+        self.scheduler = scheduler or Scheduler()
+        self.nodes: dict[str, Node] = {}
+        self.graph = nx.Graph()
+        self._routes: dict[str, dict[str, str]] = {}
+
+    def add_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        self.graph.add_node(node.name)
+        node._attach(self)
+        return node
+
+    def connect(
+        self,
+        a: str | Node,
+        b: str | Node,
+        *,
+        latency: float = 0.001,
+        bandwidth: float = 1e9,
+        weight: float | None = None,
+    ) -> Link:
+        """Create a bidirectional link between two registered nodes."""
+        node_a = self.nodes[a] if isinstance(a, str) else a
+        node_b = self.nodes[b] if isinstance(b, str) else b
+        for node in (node_a, node_b):
+            if node.name not in self.nodes:
+                raise ValueError(f"node {node.name!r} is not in this network")
+
+        def receive_at_a(frame: bytes) -> None:
+            node_a._receive(node_b.name, frame)
+
+        def receive_at_b(frame: bytes) -> None:
+            node_b._receive(node_a.name, frame)
+
+        link = Link(
+            self.scheduler,
+            receive_at_a,
+            receive_at_b,
+            latency=latency,
+            bandwidth=bandwidth,
+        )
+        node_a._add_link(node_b.name, link, receive_at_a)
+        node_b._add_link(node_a.name, link, receive_at_b)
+        self.graph.add_edge(
+            node_a.name, node_b.name, weight=weight if weight is not None else latency
+        )
+        self._routes.clear()
+        return link
+
+    def compute_routes(self) -> None:
+        """(Re)build all-pairs next-hop tables from shortest paths."""
+        self._routes = {}
+        paths = dict(nx.all_pairs_dijkstra_path(self.graph, weight="weight"))
+        for src, by_dst in paths.items():
+            table: dict[str, str] = {}
+            for dst, path in by_dst.items():
+                if len(path) >= 2:
+                    table[dst] = path[1]
+            self._routes[src] = table
+
+    def next_hop(self, at: str, toward: str) -> str:
+        """The neighbor ``at`` should forward to, to reach ``toward``."""
+        if not self._routes:
+            self.compute_routes()
+        try:
+            return self._routes[at][toward]
+        except KeyError:
+            raise ValueError(f"no route from {at!r} to {toward!r}") from None
+
+    def path(self, src: str, dst: str) -> list[str]:
+        return nx.shortest_path(self.graph, src, dst, weight="weight")
+
+    def run(self, **kwargs) -> int:
+        return self.scheduler.run(**kwargs)
+
+    def run_until(self, deadline: float, **kwargs) -> int:
+        return self.scheduler.run_until(deadline, **kwargs)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now

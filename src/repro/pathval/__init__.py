@@ -1,0 +1,52 @@
+"""Path validation extensions (paper Section VIII-C).
+
+The paper restricts shutoff authorization to the destination host and
+destination AS — "the only two parties that will provably receive the
+packet based on the APNA header" — and notes that proposals which encode
+the forwarding path into packets (Packet Passport, ICING, OPT) "can be
+combined with our architecture" to extend the authorized entities to
+on-path ASes, strengthening the shutoff protocol.
+
+This subpackage implements that combination:
+
+* :mod:`repro.pathval.keys` — pairwise AS keys derived from the
+  RPKI-registered X25519 keys (the Passport trust substrate).
+* :mod:`repro.pathval.passport` — Passport-style per-AS MACs stamped by
+  the source AS, verified by each transit AS.
+* :mod:`repro.pathval.opt` — OPT-style session path validation: a chained
+  Path Verification Field the endpoints can check.
+* :mod:`repro.pathval.shutoff_ext` — the extended shutoff protocol: an
+  on-path AS presents a stamped packet and is accepted as an authorized
+  shutoff requester.
+"""
+
+from .keys import AsPairwiseKeys, pairwise_key
+from .opt import OptSession, OptValidationError, PVF_SIZE
+from .passport import (
+    PASSPORT_MAC_SIZE,
+    PassportHeader,
+    PassportStamper,
+    PassportVerifier,
+    packet_digest,
+)
+from .shutoff_ext import (
+    ExtendedAccountabilityAgent,
+    OnPathShutoffRequest,
+    upgrade_to_onpath,
+)
+
+__all__ = [
+    "AsPairwiseKeys",
+    "ExtendedAccountabilityAgent",
+    "OnPathShutoffRequest",
+    "OptSession",
+    "OptValidationError",
+    "PASSPORT_MAC_SIZE",
+    "PVF_SIZE",
+    "PassportHeader",
+    "PassportStamper",
+    "PassportVerifier",
+    "packet_digest",
+    "pairwise_key",
+    "upgrade_to_onpath",
+]

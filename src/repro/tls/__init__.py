@@ -1,0 +1,42 @@
+"""Upper-layer authentication over APNA (paper Section VIII-F).
+
+"APNA can work in conjunction with security protocols that deal with
+security issues at higher layers.  For example, TLS can be implemented on
+top of the encrypted end-to-end path between two hosts to perform user
+authentication.  However, not all functionalities of upper layer security
+protocol may be necessary.  For instance, since APNA already provides a
+secure end-to-end channel between hosts, the mechanism to establish a
+symmetric shared key for data encryption may be omitted when
+implementing TLS on top of APNA."
+
+This subpackage is that reduced TLS: a domain PKI
+(:mod:`repro.tls.ca`) and an authentication-only handshake
+(:mod:`repro.tls.handshake`) that *channel-binds* the attestation to the
+APNA session key instead of running a second key exchange.  Because the
+binding derives from the session key, the handshake also closes the one
+privacy gap the paper concedes in Section VI-B: a malicious AS that
+MitMs intra-domain connections by faking both EphID certificates ends up
+with two different session keys and therefore two different bindings —
+the attestation verifies on neither.
+"""
+
+from .ca import DomainCertificate, WebCa
+from .handshake import (
+    AuthRequest,
+    Attestation,
+    TlsAuthError,
+    attest,
+    channel_binding,
+    verify_attestation,
+)
+
+__all__ = [
+    "Attestation",
+    "AuthRequest",
+    "DomainCertificate",
+    "TlsAuthError",
+    "WebCa",
+    "attest",
+    "channel_binding",
+    "verify_attestation",
+]

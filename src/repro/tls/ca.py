@@ -1,0 +1,105 @@
+"""A minimal web PKI for the Section VIII-F authentication layer.
+
+Deliberately separate from the RPKI of :mod:`repro.core.rpki`: RPKI
+vouches for *ASes*, this CA vouches for *domain names* — the paper keeps
+those concerns at different layers ("APNA does not deal with security
+issues at higher layers (e.g., authenticating domain ownership)").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..core.keys import SigningKeyPair
+from ..crypto import ed25519
+from ..crypto.rng import Rng
+
+_CONTEXT = b"apna-domain-cert-v1:"
+_MAX_NAME = 255
+
+
+class DomainCertError(Exception):
+    """A domain certificate failed validation or parsing."""
+
+
+@dataclass(frozen=True)
+class DomainCertificate:
+    """Binds a domain name to a long-term Ed25519 key."""
+
+    name: str
+    sig_public: bytes = field(repr=False)
+    exp_time: int = 2**32 - 1
+    signature: bytes = field(default=bytes(ed25519.SIGNATURE_SIZE), repr=False)
+
+    def __post_init__(self) -> None:
+        encoded = self.name.encode()
+        if not 1 <= len(encoded) <= _MAX_NAME:
+            raise DomainCertError(f"name must encode to 1..{_MAX_NAME} bytes")
+        if len(self.sig_public) != 32:
+            raise DomainCertError("public key must be 32 bytes")
+        if not 0 <= self.exp_time <= 2**32 - 1:
+            raise DomainCertError("exp_time out of range")
+        if len(self.signature) != ed25519.SIGNATURE_SIZE:
+            raise DomainCertError("signature must be 64 bytes")
+
+    def tbs(self) -> bytes:
+        encoded = self.name.encode()
+        return _CONTEXT + struct.pack(
+            f">B{len(encoded)}s32sI",
+            len(encoded),
+            encoded,
+            self.sig_public,
+            self.exp_time,
+        )
+
+    def verify(self, ca_public: bytes, *, now: float | None = None) -> None:
+        if not ed25519.verify(ca_public, self.tbs(), self.signature):
+            raise DomainCertError(f"certificate for {self.name!r} has a bad signature")
+        if now is not None and self.exp_time < now:
+            raise DomainCertError(f"certificate for {self.name!r} expired")
+
+    def pack(self) -> bytes:
+        return self.tbs()[len(_CONTEXT) :] + self.signature
+
+    @classmethod
+    def parse(cls, data: bytes) -> "DomainCertificate":
+        if len(data) < 1:
+            raise DomainCertError("empty domain certificate")
+        name_size = data[0]
+        fixed = 1 + name_size + 32 + 4 + ed25519.SIGNATURE_SIZE
+        if len(data) < fixed:
+            raise DomainCertError(f"domain certificate needs {fixed} bytes")
+        offset = 1
+        try:
+            name = data[offset : offset + name_size].decode()
+        except UnicodeDecodeError as exc:
+            raise DomainCertError("certificate name is not valid UTF-8") from exc
+        offset += name_size
+        sig_public = data[offset : offset + 32]
+        offset += 32
+        (exp_time,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        signature = data[offset : offset + ed25519.SIGNATURE_SIZE]
+        return cls(name, sig_public, exp_time, signature)
+
+
+class WebCa:
+    """A certificate authority for domain names (a Let's Encrypt stand-in)."""
+
+    def __init__(self, rng: Rng | None = None) -> None:
+        self._keys = SigningKeyPair.generate(rng)
+        self.issued = 0
+
+    @property
+    def public_key(self) -> bytes:
+        return self._keys.public
+
+    def issue(
+        self, name: str, sig_public: bytes, *, exp_time: int = 2**32 - 1
+    ) -> DomainCertificate:
+        unsigned = DomainCertificate(name, sig_public, exp_time)
+        self.issued += 1
+        return DomainCertificate(
+            name, sig_public, exp_time, self._keys.sign(unsigned.tbs())
+        )

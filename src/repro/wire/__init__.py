@@ -1,0 +1,73 @@
+"""Wire formats for the APNA reproduction.
+
+* :mod:`repro.wire.apna` — the 48-byte APNA header of paper Fig. 7.
+* :mod:`repro.wire.ipv4` — IPv4 header for the GRE deployment path.
+* :mod:`repro.wire.gre` — GRE encapsulation per paper Fig. 9.
+* :mod:`repro.wire.transport` — the in-payload (encrypted) transport shim.
+* :mod:`repro.wire.icmp` — ICMP message format (paper Section VIII-B).
+"""
+
+from .apna import (
+    AID_SIZE,
+    EPHID_SIZE,
+    HEADER_SIZE,
+    HEADER_SIZE_WITH_NONCE,
+    MAC_SIZE,
+    NONCE_SIZE,
+    ApnaHeader,
+    ApnaPacket,
+    Endpoint,
+)
+from .errors import FieldError, ParseError, WireError
+from .gre import ENCAP_OVERHEAD, ETHERTYPE_APNA, GreHeader, decapsulate, encapsulate
+from .icmp import IcmpMessage
+from .ipv4 import Ipv4Header, checksum, int_to_ip, ip_to_int
+from .transport import (
+    FLAG_CERT,
+    FLAG_FIN,
+    FLAG_SYN,
+    PROTO_CONTROL,
+    PROTO_DATA,
+    PROTO_DNS,
+    PROTO_ICMP,
+    PROTO_SHUTOFF,
+    TransportHeader,
+    build_segment,
+    split_segment,
+)
+
+__all__ = [
+    "AID_SIZE",
+    "ENCAP_OVERHEAD",
+    "EPHID_SIZE",
+    "ETHERTYPE_APNA",
+    "FLAG_CERT",
+    "FLAG_FIN",
+    "FLAG_SYN",
+    "HEADER_SIZE",
+    "HEADER_SIZE_WITH_NONCE",
+    "MAC_SIZE",
+    "NONCE_SIZE",
+    "PROTO_CONTROL",
+    "PROTO_DATA",
+    "PROTO_DNS",
+    "PROTO_ICMP",
+    "PROTO_SHUTOFF",
+    "ApnaHeader",
+    "ApnaPacket",
+    "Endpoint",
+    "FieldError",
+    "GreHeader",
+    "IcmpMessage",
+    "Ipv4Header",
+    "ParseError",
+    "TransportHeader",
+    "WireError",
+    "build_segment",
+    "checksum",
+    "decapsulate",
+    "encapsulate",
+    "int_to_ip",
+    "ip_to_int",
+    "split_segment",
+]

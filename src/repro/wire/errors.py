@@ -1,0 +1,15 @@
+"""Wire-format error types."""
+
+from __future__ import annotations
+
+
+class WireError(ValueError):
+    """Base class for serialization/parsing failures."""
+
+
+class ParseError(WireError):
+    """Raised when bytes on the wire cannot be parsed into a header."""
+
+
+class FieldError(WireError):
+    """Raised when a header field is out of range at construction time."""

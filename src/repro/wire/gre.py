@@ -1,0 +1,70 @@
+"""GRE encapsulation of APNA packets over IPv4 (paper Fig. 9).
+
+The deployment path in Section VII-D carries APNA packets inside GRE
+(RFC 2784) over the existing IPv4 network.  GRE identifies the payload
+protocol with an EtherType; the paper notes a dedicated number would be
+requested from IANA, so this reproduction uses ``0x88B7`` (the IEEE 802a
+OUI-extended experimental EtherType) as the APNA protocol type.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .errors import ParseError
+from .ipv4 import HEADER_SIZE as IPV4_HEADER_SIZE
+from .ipv4 import Ipv4Header, PROTO_GRE
+
+HEADER_SIZE = 4
+ETHERTYPE_APNA = 0x88B7
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+
+
+@dataclass(frozen=True)
+class GreHeader:
+    """Basic GRE header (RFC 2784: no checksum, key or sequence)."""
+
+    protocol_type: int = ETHERTYPE_APNA
+
+    def pack(self) -> bytes:
+        return struct.pack(">HH", 0, self.protocol_type)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "GreHeader":
+        if len(data) < HEADER_SIZE:
+            raise ParseError(f"GRE header needs {HEADER_SIZE} bytes, got {len(data)}")
+        flags_version, protocol_type = struct.unpack_from(">HH", data)
+        if flags_version & 0x0007:
+            raise ParseError(f"unsupported GRE version {flags_version & 7}")
+        if flags_version & 0xB000:
+            raise ParseError("GRE optional fields are not supported")
+        return cls(protocol_type)
+
+
+#: Fixed per-packet encapsulation overhead of the IPv4 deployment:
+#: IPv4 (20) + GRE (4) bytes in front of the APNA header.
+ENCAP_OVERHEAD = IPV4_HEADER_SIZE + HEADER_SIZE
+
+
+def encapsulate(apna_wire: bytes, src_ip: int, dst_ip: int, *, ttl: int = 64) -> bytes:
+    """Wrap APNA packet bytes in GRE + IPv4 for transport between APNA routers."""
+    total = IPV4_HEADER_SIZE + HEADER_SIZE + len(apna_wire)
+    if total > 0xFFFF:
+        raise ParseError(f"encapsulated packet too large: {total}")
+    ip = Ipv4Header(src=src_ip, dst=dst_ip, protocol=PROTO_GRE, total_length=total, ttl=ttl)
+    return ip.pack() + GreHeader().pack() + apna_wire
+
+
+def decapsulate(wire: bytes) -> tuple[Ipv4Header, bytes]:
+    """Strip the IPv4+GRE encapsulation, returning (outer header, APNA bytes)."""
+    ip = Ipv4Header.parse(wire)
+    if ip.protocol != PROTO_GRE:
+        raise ParseError(f"not a GRE packet (protocol={ip.protocol})")
+    gre = GreHeader.parse(wire[IPV4_HEADER_SIZE:])
+    if gre.protocol_type != ETHERTYPE_APNA:
+        raise ParseError(f"not an APNA payload (ethertype=0x{gre.protocol_type:04x})")
+    if ip.total_length > len(wire):
+        raise ParseError("truncated encapsulated packet")
+    return ip, wire[IPV4_HEADER_SIZE + HEADER_SIZE : ip.total_length]

@@ -1,0 +1,97 @@
+"""APNA ICMP messages (paper Section VIII-B).
+
+ICMP in APNA works like ordinary data: the sender uses one of its own
+EphIDs as the source, its AS authenticates the packet, and the recipient
+can hold the sender accountable via the sender's AS.  The message format
+mirrors classic ICMP (type/code/identifier/sequence) and rides inside the
+APNA payload with ``proto = PROTO_ICMP`` in the transport header.
+
+Per the paper, ICMP payloads are *not* end-to-end encrypted (the sender
+generally has no certificate for the source EphID of the packet that
+triggered the message); encrypting them is listed as future work.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .errors import FieldError, ParseError
+
+HEADER_SIZE = 8
+
+ECHO_REPLY = 0
+DEST_UNREACHABLE = 3
+ECHO_REQUEST = 8
+TIME_EXCEEDED = 11
+PACKET_TOO_BIG = 2  # mirrors ICMPv6 semantics for MTU discovery
+
+# Destination-unreachable codes used by the border router pipeline.
+CODE_EPHID_EXPIRED = 100
+CODE_EPHID_REVOKED = 101
+CODE_HID_INVALID = 102
+
+_MAX_16 = 0xFFFF
+
+TYPE_NAMES = {
+    ECHO_REPLY: "echo-reply",
+    PACKET_TOO_BIG: "packet-too-big",
+    DEST_UNREACHABLE: "dest-unreachable",
+    ECHO_REQUEST: "echo-request",
+    TIME_EXCEEDED: "time-exceeded",
+}
+
+
+@dataclass(frozen=True)
+class IcmpMessage:
+    """An ICMP message: 8-byte header plus payload.
+
+    For error messages the payload carries the leading bytes of the
+    offending packet (classic ICMP behaviour) so the receiver can match it
+    to a flow; for echo it carries user data.
+    """
+
+    type: int
+    code: int = 0
+    identifier: int = 0
+    sequence: int = 0
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.type <= 255:
+            raise FieldError(f"type out of range: {self.type}")
+        if not 0 <= self.code <= 255:
+            raise FieldError(f"code out of range: {self.code}")
+        if not 0 <= self.identifier <= _MAX_16:
+            raise FieldError(f"identifier out of range: {self.identifier}")
+        if not 0 <= self.sequence <= _MAX_16:
+            raise FieldError(f"sequence out of range: {self.sequence}")
+
+    def pack(self) -> bytes:
+        return (
+            struct.pack(">BBHHH", self.type, self.code, 0, self.identifier, self.sequence)
+            + self.payload
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "IcmpMessage":
+        if len(data) < HEADER_SIZE:
+            raise ParseError(f"ICMP needs {HEADER_SIZE} bytes, got {len(data)}")
+        msg_type, code, _zero, identifier, sequence = struct.unpack_from(">BBHHH", data)
+        return cls(msg_type, code, identifier, sequence, data[HEADER_SIZE:])
+
+    def reply(self, payload: bytes | None = None) -> "IcmpMessage":
+        """Build the echo reply for an echo request."""
+        if self.type != ECHO_REQUEST:
+            raise FieldError("only echo requests have replies")
+        return IcmpMessage(
+            type=ECHO_REPLY,
+            code=0,
+            identifier=self.identifier,
+            sequence=self.sequence,
+            payload=self.payload if payload is None else payload,
+        )
+
+    @property
+    def type_name(self) -> str:
+        return TYPE_NAMES.get(self.type, f"type-{self.type}")

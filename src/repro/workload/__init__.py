@@ -1,0 +1,28 @@
+"""Workload substrate: synthetic traces (Section V-A3's proprietary trace
+substitute) and packet pools for the Fig. 8 forwarding experiments."""
+
+from .analyzer import TraceStats, analyze, concurrent_flows, ephid_demand_per_second
+from .flows import (
+    PAPER_HOSTS,
+    PAPER_PEAK_RATE,
+    FlowRecord,
+    TraceConfig,
+    TraceGenerator,
+)
+from .packets import PAPER_PACKET_SIZES, PacketPool, build_apna_pool, build_ipv4_pool
+
+__all__ = [
+    "PAPER_HOSTS",
+    "PAPER_PACKET_SIZES",
+    "PAPER_PEAK_RATE",
+    "FlowRecord",
+    "PacketPool",
+    "TraceConfig",
+    "TraceGenerator",
+    "TraceStats",
+    "analyze",
+    "build_apna_pool",
+    "build_ipv4_pool",
+    "concurrent_flows",
+    "ephid_demand_per_second",
+]

@@ -1,0 +1,78 @@
+"""Packet workloads for the forwarding experiments (paper Fig. 8).
+
+Builds pools of *valid* APNA packets (real EphIDs, real MACs) at the
+paper's five sizes — 128, 256, 512, 1024 and 1518 bytes — plus matching
+plain-IPv4 packets for the baseline comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.autonomous_system import ApnaAutonomousSystem
+from ..core.session import OwnedEphId
+from ..wire.apna import Endpoint, HEADER_SIZE, HEADER_SIZE_WITH_NONCE
+from ..wire.ipv4 import HEADER_SIZE as IPV4_HEADER_SIZE
+from ..wire.ipv4 import Ipv4Header, PROTO_UDP
+
+#: The packet sizes of Fig. 8.
+PAPER_PACKET_SIZES = (128, 256, 512, 1024, 1518)
+
+
+@dataclass
+class PacketPool:
+    """Pre-built packets of one size, ready for a forwarding loop."""
+
+    size: int
+    apna_packets: list  # list[ApnaPacket]
+    wire_frames: list[bytes]
+
+
+def build_apna_pool(
+    assembly: ApnaAutonomousSystem,
+    hosts: list,
+    *,
+    size: int,
+    count: int,
+    dst_aid: int = 65000,
+) -> PacketPool:
+    """Valid egress packets of ``size`` bytes total (header + payload).
+
+    Hosts must be bootstrapped members of ``assembly``; packets rotate
+    over the hosts (and one EphID each) so the router's per-host MAC
+    cache behaves as in steady state.
+    """
+    header_size = (
+        HEADER_SIZE_WITH_NONCE if assembly.config.replay_protection else HEADER_SIZE
+    )
+    if size < header_size + 1:
+        raise ValueError(f"packet size {size} smaller than the APNA header")
+    payload = bytes(size - header_size)
+    owned: list[tuple[object, OwnedEphId]] = [
+        (host, host.acquire_ephid_direct()) for host in hosts
+    ]
+    dst = Endpoint(dst_aid, bytes(16))
+    packets = []
+    for i in range(count):
+        host, ephid = owned[i % len(owned)]
+        packets.append(host.stack.make_packet(ephid.ephid, dst, payload))
+    return PacketPool(
+        size=size, apna_packets=packets, wire_frames=[p.to_wire() for p in packets]
+    )
+
+
+def build_ipv4_pool(*, size: int, count: int, dst_base: int = 0xC0A80000) -> PacketPool:
+    """Plain IPv4 packets of ``size`` bytes for the baseline router."""
+    if size < IPV4_HEADER_SIZE:
+        raise ValueError(f"packet size {size} smaller than the IPv4 header")
+    body = bytes(size - IPV4_HEADER_SIZE)
+    frames = []
+    for i in range(count):
+        header = Ipv4Header(
+            src=0x0A000001 + i % 251,
+            dst=dst_base + i % 4096,
+            protocol=PROTO_UDP,
+            total_length=size,
+        )
+        frames.append(header.pack() + body)
+    return PacketPool(size=size, apna_packets=[], wire_frames=frames)

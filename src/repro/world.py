@@ -1,0 +1,263 @@
+"""Convenience builders for simulated APNA "internets".
+
+Every example, test and experiment needs the same scaffolding: a trust
+anchor, an RPKI directory, ASes wired through the simulator and a few
+bootstrapped hosts.  These builders package that set-up behind one call so
+that downstream users can get to the interesting part — EphIDs, sessions,
+shutoffs — in three lines.
+
+* :func:`build_two_as_internet` — the canonical two-AS world of Fig. 1.
+* :func:`build_as_chain` — a linear chain (source, transits, destination),
+  the topology of the Section VIII-C path-validation experiments.
+* :func:`build_as_star` — one transit hub with stub leaves.
+* :func:`build_transit_stub` — a small Internet-like hierarchy: a meshed
+  transit core with stub ASes hanging off each transit.
+
+>>> world = build_two_as_internet(seed=7)
+>>> alice = world.attach_host("alice", side="a")
+>>> bob = world.attach_host("bob", side="b")
+>>> server_ephid = bob.acquire_ephid_direct()
+>>> session = alice.connect(server_ephid.cert, early_data=b"hi")
+>>> world.network.run()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .core.autonomous_system import ApnaAutonomousSystem, ApnaHostNode
+from .core.config import ApnaConfig
+from .core.rpki import RpkiDirectory, TrustAnchor
+from .crypto.rng import DeterministicRng, Rng
+from .netsim import Network
+
+
+@dataclass
+class TwoAsWorld:
+    """A two-AS simulated internet with its trust infrastructure.
+
+    Attributes mirror the entities of the paper's Fig. 1: two ASes (each an
+    assembled Registry Service, Management Service, Border Router and
+    Accountability Agent), the network between them, and the RPKI trust
+    anchor both rely on to verify each other's certificates.
+    """
+
+    network: Network
+    rng: Rng
+    anchor: TrustAnchor
+    rpki: RpkiDirectory
+    as_a: ApnaAutonomousSystem
+    as_b: ApnaAutonomousSystem
+    config: ApnaConfig
+    hosts: dict[str, ApnaHostNode] = field(default_factory=dict)
+
+    def attach_host(self, name: str, *, side: str = "a", latency: float = 0.001) -> ApnaHostNode:
+        """Attach and bootstrap a host on AS ``a`` or ``b``.
+
+        The host is bootstrapped (Fig. 2) and routes are recomputed so it is
+        immediately able to acquire EphIDs and open sessions.
+        """
+        if side not in ("a", "b"):
+            raise ValueError(f"side must be 'a' or 'b', got {side!r}")
+        autonomous_system = self.as_a if side == "a" else self.as_b
+        host = autonomous_system.attach_host(name, latency=latency)
+        host.bootstrap()
+        self.network.compute_routes()
+        self.hosts[name] = host
+        return host
+
+
+def build_two_as_internet(
+    *,
+    seed: int | str = 0,
+    aid_a: int = 100,
+    aid_b: int = 200,
+    latency: float = 0.020,
+    bandwidth: float = 1e10,
+    config: ApnaConfig | None = None,
+) -> TwoAsWorld:
+    """Build the canonical two-AS world used throughout the examples.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the deterministic RNG; equal seeds give bit-identical
+        worlds (keys, EphIDs, traffic), which keeps examples reproducible.
+    aid_a, aid_b:
+        AS identifiers (the AID of the paper's ``AID:EphID`` tuple).
+    latency:
+        One-way inter-AS link latency in seconds.
+    bandwidth:
+        Inter-AS link bandwidth in bits per second.
+    config:
+        Optional :class:`~repro.core.config.ApnaConfig` shared by both ASes.
+    """
+    rng = DeterministicRng(seed)
+    network = Network()
+    config = config or ApnaConfig()
+    anchor = TrustAnchor(rng)
+    rpki = RpkiDirectory(anchor.public_key, network.scheduler.clock())
+    as_a = ApnaAutonomousSystem(aid_a, network, rpki, anchor, config=config, rng=rng)
+    as_b = ApnaAutonomousSystem(aid_b, network, rpki, anchor, config=config, rng=rng)
+    as_a.connect_to(as_b, latency=latency, bandwidth=bandwidth)
+    network.compute_routes()
+    return TwoAsWorld(
+        network=network,
+        rng=rng,
+        anchor=anchor,
+        rpki=rpki,
+        as_a=as_a,
+        as_b=as_b,
+        config=config,
+    )
+
+
+@dataclass
+class MultiAsWorld:
+    """An arbitrary multi-AS simulated internet."""
+
+    network: Network
+    rng: Rng
+    anchor: TrustAnchor
+    rpki: RpkiDirectory
+    ases: list[ApnaAutonomousSystem]
+    config: ApnaConfig
+    hosts: dict[str, ApnaHostNode] = field(default_factory=dict)
+
+    def as_by_aid(self, aid: int) -> ApnaAutonomousSystem:
+        for autonomous_system in self.ases:
+            if autonomous_system.aid == aid:
+                return autonomous_system
+        raise KeyError(f"no AS with AID {aid}")
+
+    def attach_host(
+        self, name: str, aid: int, *, latency: float = 0.001
+    ) -> ApnaHostNode:
+        """Attach and bootstrap a host on the AS with the given AID."""
+        host = self.as_by_aid(aid).attach_host(name, latency=latency)
+        host.bootstrap()
+        self.network.compute_routes()
+        self.hosts[name] = host
+        return host
+
+    def as_path(self, src_aid: int, dst_aid: int) -> list[int]:
+        """The AID sequence packets take from ``src_aid`` to ``dst_aid``."""
+        names = self.network.path(f"AS{src_aid}", f"AS{dst_aid}")
+        return [int(name[2:]) for name in names]
+
+
+class _WorldFoundation:
+    """Shared bring-up for the multi-AS builders."""
+
+    def __init__(self, seed: int | str, config: ApnaConfig | None) -> None:
+        self.rng = DeterministicRng(seed)
+        self.network = Network()
+        self.config = config or ApnaConfig()
+        self.anchor = TrustAnchor(self.rng)
+        self.rpki = RpkiDirectory(
+            self.anchor.public_key, self.network.scheduler.clock()
+        )
+
+    def make_as(self, aid: int) -> ApnaAutonomousSystem:
+        return ApnaAutonomousSystem(
+            aid, self.network, self.rpki, self.anchor, config=self.config, rng=self.rng
+        )
+
+    def finish(self, ases: list[ApnaAutonomousSystem]) -> MultiAsWorld:
+        self.network.compute_routes()
+        return MultiAsWorld(
+            network=self.network,
+            rng=self.rng,
+            anchor=self.anchor,
+            rpki=self.rpki,
+            ases=ases,
+            config=self.config,
+        )
+
+
+def build_as_chain(
+    n_ases: int,
+    *,
+    seed: int | str = 0,
+    latency: float = 0.010,
+    bandwidth: float = 1e10,
+    first_aid: int = 100,
+    aid_step: int = 100,
+    config: ApnaConfig | None = None,
+) -> MultiAsWorld:
+    """A linear AS chain: AID 100 — 200 — 300 — ...
+
+    Traffic between the end ASes traverses every AS in between, which is
+    the worst case for path-validation overhead (Section VIII-C).
+    """
+    if n_ases < 2:
+        raise ValueError("a chain needs at least two ASes")
+    foundation = _WorldFoundation(seed, config)
+    ases = [foundation.make_as(first_aid + i * aid_step) for i in range(n_ases)]
+    for left, right in zip(ases, ases[1:]):
+        left.connect_to(right, latency=latency, bandwidth=bandwidth)
+    return foundation.finish(ases)
+
+
+def build_as_star(
+    n_leaves: int,
+    *,
+    seed: int | str = 0,
+    latency: float = 0.010,
+    bandwidth: float = 1e10,
+    hub_aid: int = 1,
+    first_leaf_aid: int = 100,
+    config: ApnaConfig | None = None,
+) -> MultiAsWorld:
+    """One transit hub with ``n_leaves`` stub ASes.
+
+    The hub is ``ases[0]``.  Every leaf-to-leaf path crosses the hub,
+    making this the canonical topology for transit-AS experiments
+    (e.g. an on-path shutoff issued by the hub).
+    """
+    if n_leaves < 1:
+        raise ValueError("a star needs at least one leaf")
+    foundation = _WorldFoundation(seed, config)
+    hub = foundation.make_as(hub_aid)
+    ases = [hub]
+    for i in range(n_leaves):
+        leaf = foundation.make_as(first_leaf_aid + i * 100)
+        hub.connect_to(leaf, latency=latency, bandwidth=bandwidth)
+        ases.append(leaf)
+    return foundation.finish(ases)
+
+
+def build_transit_stub(
+    n_transits: int,
+    stubs_per_transit: int,
+    *,
+    seed: int | str = 0,
+    core_latency: float = 0.005,
+    edge_latency: float = 0.015,
+    bandwidth: float = 1e10,
+    config: ApnaConfig | None = None,
+) -> MultiAsWorld:
+    """A two-tier Internet: a full-mesh transit core with stub ASes.
+
+    Transit ASes get AIDs 1..n; stub ASes get ``100 * transit + k``.
+    ``ases`` lists transits first, then stubs grouped by their provider.
+    This is the scale model of "APNA-as-a-Service" deployments
+    (Section VIII-E): small stub ASes gain privacy by mixing their
+    customers into a large upstream's anonymity set.
+    """
+    if n_transits < 1:
+        raise ValueError("need at least one transit AS")
+    if stubs_per_transit < 0:
+        raise ValueError("stubs_per_transit must be non-negative")
+    foundation = _WorldFoundation(seed, config)
+    transits = [foundation.make_as(i + 1) for i in range(n_transits)]
+    for i, left in enumerate(transits):
+        for right in transits[i + 1 :]:
+            left.connect_to(right, latency=core_latency, bandwidth=bandwidth)
+    stubs = []
+    for tier_index, transit in enumerate(transits, start=1):
+        for k in range(stubs_per_transit):
+            stub = foundation.make_as(100 * tier_index + k)
+            transit.connect_to(stub, latency=edge_latency, bandwidth=bandwidth)
+            stubs.append(stub)
+    return foundation.finish(transits + stubs)

@@ -1,0 +1,51 @@
+"""Shared fixtures: deterministic single- and two-AS worlds."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.autonomous_system import ApnaAutonomousSystem
+from repro.core.config import ApnaConfig
+from repro.core.rpki import RpkiDirectory, TrustAnchor
+from repro.crypto.rng import DeterministicRng
+from repro.netsim import Network
+
+
+def build_world(*, seed=7, config=None, host_names=("alice", "bob"), latency=0.010):
+    """Two peered ASes (AID 100 and 200) with one bootstrapped host each."""
+    rng = DeterministicRng(seed)
+    network = Network()
+    config = config or ApnaConfig()
+    anchor = TrustAnchor(rng)
+    rpki = RpkiDirectory(anchor.public_key, network.scheduler.clock())
+    as_a = ApnaAutonomousSystem(100, network, rpki, anchor, config=config, rng=rng)
+    as_b = ApnaAutonomousSystem(200, network, rpki, anchor, config=config, rng=rng)
+    as_a.connect_to(as_b, latency=latency, bandwidth=1e9)
+
+    hosts = {}
+    for i, name in enumerate(host_names):
+        assembly = as_a if i % 2 == 0 else as_b
+        host = assembly.attach_host(name, latency=0.001, bandwidth=1e8)
+        host.bootstrap()
+        hosts[name] = host
+    network.compute_routes()
+    return SimpleNamespace(
+        rng=rng,
+        network=network,
+        anchor=anchor,
+        rpki=rpki,
+        as_a=as_a,
+        as_b=as_b,
+        hosts=hosts,
+        config=config,
+    )
+
+
+@pytest.fixture()
+def world():
+    return build_world()
+
+
+@pytest.fixture()
+def world_with_nonces():
+    return build_world(config=ApnaConfig(replay_protection=True))

@@ -1,0 +1,190 @@
+"""Tests for the Fig. 5 shutoff protocol (acceptance and every rejection)."""
+
+import pytest
+
+from repro.core.messages import ShutoffRequest
+from repro.wire.apna import ApnaPacket, Endpoint
+
+
+@pytest.fixture()
+def env(world):
+    alice = world.hosts["alice"]  # the (malicious) sender in AS 100
+    bob = world.hosts["bob"]  # the complaining recipient in AS 200
+    alice_owned = alice.acquire_ephid_direct()
+    bob_owned = bob.acquire_ephid_direct()
+    offending = alice.stack.make_packet(
+        alice_owned.ephid, Endpoint(200, bob_owned.ephid), b"unwanted traffic"
+    )
+    return world, alice, bob, alice_owned, bob_owned, offending
+
+
+class TestShutoffAccepted:
+    def test_valid_request_revokes_source_ephid(self, env):
+        world, alice, bob, alice_owned, bob_owned, offending = env
+        request = bob.stack.build_shutoff_request(offending.to_wire(), bob_owned)
+        response = world.as_a.aa.handle_shutoff(request)
+        assert response.accepted
+        assert world.as_a.revocations.contains(alice_owned.ephid)
+        assert world.as_a.aa.accepted == 1
+
+    def test_revocation_blocks_future_packets(self, env):
+        world, alice, bob, alice_owned, bob_owned, offending = env
+        request = bob.stack.build_shutoff_request(offending.to_wire(), bob_owned)
+        world.as_a.aa.handle_shutoff(request)
+        from repro.core.border_router import DropReason
+
+        verdict = world.as_a.br.process_outgoing(offending)
+        assert verdict.reason is DropReason.SRC_REVOKED
+
+    def test_other_ephids_of_host_unaffected(self, env):
+        # Fate-sharing is per-EphID (Section III-B): only the reported
+        # EphID dies.
+        world, alice, bob, alice_owned, bob_owned, offending = env
+        other_owned = alice.acquire_ephid_direct()
+        request = bob.stack.build_shutoff_request(offending.to_wire(), bob_owned)
+        world.as_a.aa.handle_shutoff(request)
+        packet = alice.stack.make_packet(
+            other_owned.ephid, Endpoint(200, bob_owned.ephid), b"fresh flow"
+        )
+        from repro.core.border_router import Action
+
+        verdict = world.as_a.br.process_outgoing(packet)
+        assert verdict.action is Action.FORWARD_INTER
+
+    def test_repeat_offender_loses_hid(self, world):
+        # Section VIII-G2: too many revocations revoke the HID itself.
+        from repro.core.config import ApnaConfig
+        from tests.conftest import build_world
+
+        small = build_world(config=ApnaConfig(revocation_threshold=3))
+        alice, bob = small.hosts["alice"], small.hosts["bob"]
+        bob_owned = bob.acquire_ephid_direct()
+        for i in range(3):
+            owned = alice.acquire_ephid_direct()
+            offending = alice.stack.make_packet(
+                owned.ephid, Endpoint(200, bob_owned.ephid), b"spam"
+            )
+            request = bob.stack.build_shutoff_request(offending.to_wire(), bob_owned)
+            assert small.as_a.aa.handle_shutoff(request).accepted
+        record = small.as_a.hostdb.find_by_subscriber(alice.subscriber_id)
+        assert record is None  # the HID is gone
+        assert len(small.as_a.aa.policy.hids_revoked) == 1
+
+
+class TestShutoffRejected:
+    def test_non_recipient_cannot_shutoff(self, env):
+        # The DoS defence: only the owner of the packet's destination
+        # EphID may request a shutoff.
+        world, alice, bob, alice_owned, bob_owned, offending = env
+        mallory_owned = bob.acquire_ephid_direct()  # a different EphID
+        request = bob.stack.build_shutoff_request(offending.to_wire(), mallory_owned)
+        response = world.as_a.aa.handle_shutoff(request)
+        assert not response.accepted
+        assert response.reason == "requester-not-recipient"
+        assert not world.as_a.revocations.contains(alice_owned.ephid)
+
+    def test_rogue_packet_rejected(self, env):
+        # A recipient cannot fabricate a packet the source never sent:
+        # the packet MAC (made with kHA of the source) will not verify.
+        world, alice, bob, alice_owned, bob_owned, offending = env
+        fake = ApnaPacket(
+            offending.header.with_mac(b"\x00" * 8), b"never actually sent"
+        )
+        request = bob.stack.build_shutoff_request(fake.to_wire(), bob_owned)
+        response = world.as_a.aa.handle_shutoff(request)
+        assert not response.accepted
+        assert response.reason == "packet-mac-invalid"
+
+    def test_bad_signature_rejected(self, env):
+        world, alice, bob, alice_owned, bob_owned, offending = env
+        good = bob.stack.build_shutoff_request(offending.to_wire(), bob_owned)
+        request = ShutoffRequest(
+            packet=good.packet, signature=bytes(64), cert=good.cert
+        )
+        response = world.as_a.aa.handle_shutoff(request)
+        assert not response.accepted
+        assert response.reason == "signature-invalid"
+
+    def test_forged_cert_rejected(self, env):
+        # Certificate not signed by the requester's AS (RPKI check).
+        world, alice, bob, alice_owned, bob_owned, offending = env
+        from repro.core.certs import EphIdCertificate
+        from repro.core.keys import SigningKeyPair
+
+        rogue_signer = SigningKeyPair.generate(world.rng)
+        forged_cert = EphIdCertificate.issue(
+            rogue_signer,
+            ephid=bob_owned.cert.ephid,
+            exp_time=bob_owned.cert.exp_time,
+            dh_public=bob_owned.cert.dh_public,
+            sig_public=bob_owned.cert.sig_public,
+            aid=bob_owned.cert.aid,
+            aa_ephid=bob_owned.cert.aa_ephid,
+        )
+        unsigned = ShutoffRequest(packet=offending.to_wire(), signature=b"", cert=forged_cert)
+        signature = bob_owned.keypair.signing.sign(unsigned.signed_bytes())
+        request = ShutoffRequest(
+            packet=offending.to_wire(), signature=signature, cert=forged_cert
+        )
+        response = world.as_a.aa.handle_shutoff(request)
+        assert not response.accepted
+        assert response.reason == "cert-invalid"
+
+    def test_wrong_as_rejects(self, env):
+        # The AA only handles shutoffs for its own customers.
+        world, alice, bob, alice_owned, bob_owned, offending = env
+        request = bob.stack.build_shutoff_request(offending.to_wire(), bob_owned)
+        response = world.as_b.aa.handle_shutoff(request)
+        assert not response.accepted
+        assert response.reason == "not-our-source"
+
+    def test_expired_source_ephid_rejected(self, env):
+        world, alice, bob, alice_owned, bob_owned, offending = env
+        record = world.as_a.hostdb.find_by_subscriber(alice.subscriber_id)
+        stale_ephid = world.as_a.codec.seal(
+            hid=record.hid, exp_time=5, iv=world.as_a.ivs.next_iv()
+        )
+        stale_packet = alice.stack.make_packet(
+            stale_ephid, Endpoint(200, bob_owned.ephid), b"old"
+        )
+        world.network.run_until(10.0)
+        request = bob.stack.build_shutoff_request(stale_packet.to_wire(), bob_owned)
+        response = world.as_a.aa.handle_shutoff(request)
+        assert not response.accepted
+        assert response.reason == "src-ephid-expired"
+
+    def test_garbage_packet_rejected(self, env):
+        world, alice, bob, alice_owned, bob_owned, offending = env
+        request = bob.stack.build_shutoff_request(b"\x00" * 10, bob_owned)
+        response = world.as_a.aa.handle_shutoff(request)
+        assert not response.accepted
+        assert response.reason == "packet-too-short"
+
+    def test_rejection_stats(self, env):
+        world, alice, bob, alice_owned, bob_owned, offending = env
+        request = bob.stack.build_shutoff_request(b"\x00" * 10, bob_owned)
+        world.as_a.aa.handle_shutoff(request)
+        world.as_a.aa.handle_shutoff(request)
+        assert world.as_a.aa.rejected["packet-too-short"] == 2
+
+
+class TestReceiveOnlyInteraction:
+    def test_receive_only_ephid_cannot_be_shut_off(self, env):
+        # Receive-only EphIDs never appear as a source, so no valid
+        # shutoff request can be constructed against them (Section VII-A):
+        # any packet claiming one as source fails the MAC/ownership checks.
+        world, alice, bob, alice_owned, bob_owned, offending = env
+        from repro.core.certs import FLAG_RECEIVE_ONLY
+
+        ro = bob.acquire_ephid_direct(flags=FLAG_RECEIVE_ONLY)
+        # Mallory (alice here) fabricates a packet pretending the RO EphID
+        # sent her traffic, then "complains" about it to AS-B's AA.
+        fake = ApnaPacket(
+            alice.stack.make_packet(
+                alice_owned.ephid, Endpoint(200, ro.ephid), b"x"
+            ).header.reversed(),
+            b"fabricated",
+        )
+        request = alice.stack.build_shutoff_request(fake.to_wire(), alice_owned)
+        response = world.as_b.aa.handle_shutoff(request)
+        assert not response.accepted

@@ -1,0 +1,98 @@
+"""Ed25519 tests pinned to the RFC 8032 Section 7.1 vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import ed25519
+
+RFC8032_VECTORS = [
+    # (secret, public, message, signature)
+    (
+        "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+        "",
+        "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+        "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b",
+    ),
+    (
+        "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+        "72",
+        "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+        "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00",
+    ),
+    (
+        "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+        "af82",
+        "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+        "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a",
+    ),
+]
+
+
+@pytest.mark.parametrize("secret,public,message,signature", RFC8032_VECTORS)
+def test_rfc8032_public_key(secret, public, message, signature):
+    assert ed25519.public_key(bytes.fromhex(secret)).hex() == public
+
+
+@pytest.mark.parametrize("secret,public,message,signature", RFC8032_VECTORS)
+def test_rfc8032_sign(secret, public, message, signature):
+    sig = ed25519.sign(bytes.fromhex(secret), bytes.fromhex(message))
+    assert sig.hex() == signature
+
+
+@pytest.mark.parametrize("secret,public,message,signature", RFC8032_VECTORS)
+def test_rfc8032_verify(secret, public, message, signature):
+    assert ed25519.verify(
+        bytes.fromhex(public), bytes.fromhex(message), bytes.fromhex(signature)
+    )
+
+
+def test_verify_rejects_wrong_message():
+    secret, public, _, signature = RFC8032_VECTORS[1]
+    assert not ed25519.verify(
+        bytes.fromhex(public), b"different", bytes.fromhex(signature)
+    )
+
+
+def test_verify_rejects_tampered_signature():
+    secret, public, message, signature = RFC8032_VECTORS[2]
+    sig = bytearray(bytes.fromhex(signature))
+    sig[0] ^= 1
+    assert not ed25519.verify(bytes.fromhex(public), bytes.fromhex(message), bytes(sig))
+
+
+def test_verify_rejects_wrong_key():
+    _, _, message, signature = RFC8032_VECTORS[2]
+    other_public = RFC8032_VECTORS[0][1]
+    assert not ed25519.verify(
+        bytes.fromhex(other_public), bytes.fromhex(message), bytes.fromhex(signature)
+    )
+
+
+def test_verify_rejects_malformed_inputs():
+    assert not ed25519.verify(bytes(31), b"m", bytes(64))
+    assert not ed25519.verify(bytes(32), b"m", bytes(63))
+    # s >= L must be rejected (malleability guard).
+    from repro.crypto.ed25519 import L
+
+    sig = bytes(32) + L.to_bytes(32, "little")
+    assert not ed25519.verify(bytes(32), b"m", sig)
+
+
+def test_sign_requires_32_byte_secret():
+    with pytest.raises(ValueError):
+        ed25519.sign(bytes(16), b"m")
+    with pytest.raises(ValueError):
+        ed25519.public_key(bytes(16))
+
+
+@settings(max_examples=8, deadline=None)
+@given(secret=st.binary(min_size=32, max_size=32), message=st.binary(max_size=100))
+def test_sign_verify_roundtrip(secret, message):
+    public = ed25519.public_key(secret)
+    signature = ed25519.sign(secret, message)
+    assert ed25519.verify(public, message, signature)
+    assert not ed25519.verify(public, message + b"x", signature)

@@ -1,0 +1,104 @@
+"""AES-GCM tests pinned to the NIST GCM specification test cases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.gcm import AesGcm
+
+
+def test_nist_case_1_empty():
+    gcm = AesGcm(bytes(16))
+    sealed = gcm.seal(bytes(12), b"")
+    assert sealed.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+    assert gcm.open(bytes(12), sealed) == b""
+
+
+def test_nist_case_2_single_zero_block():
+    gcm = AesGcm(bytes(16))
+    sealed = gcm.seal(bytes(12), bytes(16))
+    assert sealed[:16].hex() == "0388dace60b6a392f328c2b971b2fe78"
+    assert sealed[16:].hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+
+NIST_KEY = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+NIST_IV = bytes.fromhex("cafebabefacedbaddecaf888")
+NIST_PT = bytes.fromhex(
+    "d9313225f88406e5a55909c5aff5269a"
+    "86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525"
+    "b16aedf5aa0de657ba637b391aafd255"
+)
+
+
+def test_nist_case_3_four_blocks():
+    gcm = AesGcm(NIST_KEY)
+    sealed = gcm.seal(NIST_IV, NIST_PT)
+    assert sealed[:64].hex() == (
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091473f5985"
+    )
+    assert sealed[64:].hex() == "4d5c2af327cd64a62cf35abd2ba6fab4"
+
+
+def test_nist_case_4_with_aad():
+    gcm = AesGcm(NIST_KEY)
+    aad = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+    sealed = gcm.seal(NIST_IV, NIST_PT[:60], aad)
+    assert sealed[:60].hex() == (
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091"
+    )
+    assert sealed[60:].hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+    assert gcm.open(NIST_IV, sealed, aad) == NIST_PT[:60]
+
+
+def test_open_rejects_wrong_aad():
+    gcm = AesGcm(NIST_KEY)
+    sealed = gcm.seal(NIST_IV, b"payload", b"aad-1")
+    with pytest.raises(ValueError):
+        gcm.open(NIST_IV, sealed, b"aad-2")
+
+
+def test_open_rejects_truncated():
+    gcm = AesGcm(bytes(16))
+    with pytest.raises(ValueError):
+        gcm.open(bytes(12), b"short")
+
+
+def test_tag_size_bounds():
+    with pytest.raises(ValueError):
+        AesGcm(bytes(16), tag_size=3)
+    with pytest.raises(ValueError):
+        AesGcm(bytes(16), tag_size=17)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    nonce=st.binary(min_size=12, max_size=12),
+    plaintext=st.binary(min_size=0, max_size=120),
+    aad=st.binary(min_size=0, max_size=40),
+)
+def test_seal_open_roundtrip(key, nonce, plaintext, aad):
+    gcm = AesGcm(key)
+    assert gcm.open(nonce, gcm.seal(nonce, plaintext, aad), aad) == plaintext
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    nonce=st.binary(min_size=12, max_size=12),
+    plaintext=st.binary(min_size=1, max_size=60),
+    flip=st.integers(min_value=0),
+)
+def test_ciphertext_tamper_detected(key, nonce, plaintext, flip):
+    gcm = AesGcm(key)
+    sealed = bytearray(gcm.seal(nonce, plaintext))
+    sealed[flip % len(sealed)] ^= 0x01
+    with pytest.raises(ValueError):
+        gcm.open(nonce, bytes(sealed))

@@ -1,0 +1,237 @@
+"""Tests for the DNS substrate: records, zone signing, encrypted
+resolution and the receive-only EphID service flow (Section VII-A)."""
+
+import pytest
+
+from repro.core.certs import FLAG_RECEIVE_ONLY
+from repro.dns import (
+    DnsClient,
+    DnsError,
+    DnsQuery,
+    DnsRecord,
+    DnsResponse,
+    DnsServer,
+    DnsZone,
+    publish_service,
+)
+from repro.core.keys import SigningKeyPair
+from repro.crypto.rng import DeterministicRng
+from tests.conftest import build_world
+
+
+@pytest.fixture()
+def dns_world():
+    world = build_world()
+    zone = DnsZone(world.rng)
+    # Both ASes run DNS endpoints backed by the same (global) zone.
+    DnsServer(world.as_a, zone)
+    DnsServer(world.as_b, zone)
+    world.zone = zone
+    return world
+
+
+class TestRecords:
+    def make_cert(self, rng):
+        from repro.core.keys import EphIdKeyPair
+
+        keypair = EphIdKeyPair.generate(rng)
+        from repro.core.certs import EphIdCertificate
+
+        signer = SigningKeyPair.generate(rng)
+        return EphIdCertificate.issue(
+            signer,
+            ephid=rng.read(16),
+            exp_time=10**9,
+            dh_public=keypair.exchange.public,
+            sig_public=keypair.signing.public,
+            aid=100,
+            aa_ephid=rng.read(16),
+            flags=FLAG_RECEIVE_ONLY,
+        )
+
+    def test_record_roundtrip(self):
+        rng = DeterministicRng(1)
+        zone = DnsZone(rng)
+        record = zone.register("shop.example", self.make_cert(rng), ipv4_hint=0x0A000001)
+        parsed = DnsRecord.parse(record.pack())
+        assert parsed == record
+        parsed.verify(zone.public_key)
+
+    def test_tampered_record_rejected(self):
+        rng = DeterministicRng(2)
+        zone = DnsZone(rng)
+        record = zone.register("shop.example", self.make_cert(rng))
+        evil = DnsRecord(
+            name="evil.example",
+            cert=record.cert,
+            ipv4_hint=record.ipv4_hint,
+            signature=record.signature,
+        )
+        with pytest.raises(DnsError):
+            evil.verify(zone.public_key)
+
+    def test_wrong_zone_key_rejected(self):
+        rng = DeterministicRng(3)
+        zone_a, zone_b = DnsZone(rng), DnsZone(rng)
+        record = zone_a.register("a.example", self.make_cert(rng))
+        with pytest.raises(DnsError):
+            record.verify(zone_b.public_key)
+
+    def test_reregistration_replaces(self):
+        rng = DeterministicRng(4)
+        zone = DnsZone(rng)
+        first = zone.register("x.example", self.make_cert(rng))
+        second = zone.register("x.example", self.make_cert(rng))
+        assert zone.lookup("x.example") == second
+        assert len(zone) == 1
+        assert zone.updates == 2
+
+    def test_query_response_roundtrip(self):
+        rng = DeterministicRng(5)
+        zone = DnsZone(rng)
+        record = zone.register("y.example", self.make_cert(rng))
+        assert DnsQuery.parse(DnsQuery("y.example").pack()).name == "y.example"
+        found = DnsResponse.parse(DnsResponse(True, record).pack())
+        assert found.record == record
+        missing = DnsResponse.parse(DnsResponse(False).pack())
+        assert not missing.found
+
+    def test_bad_names(self):
+        with pytest.raises(DnsError):
+            DnsQuery("").pack()
+        with pytest.raises(DnsError):
+            DnsQuery("x" * 300).pack()
+
+
+class TestResolutionOverNetwork:
+    def test_encrypted_resolution(self, dns_world):
+        world = dns_world
+        bob = world.hosts["bob"]
+        record = publish_service(bob, world.zone, "service.example")
+        assert record.cert.receive_only
+
+        alice = world.hosts["alice"]
+        resolver = DnsClient(alice, world.zone.public_key)
+        results = []
+        resolver.resolve("service.example", results.append)
+        world.network.run()
+        assert len(results) == 1
+        assert results[0].cert.ephid == record.cert.ephid
+        assert resolver.resolved == 1
+
+    def test_missing_name_returns_none(self, dns_world):
+        world = dns_world
+        alice = world.hosts["alice"]
+        resolver = DnsClient(alice, world.zone.public_key)
+        results = []
+        resolver.resolve("does-not-exist.example", results.append)
+        world.network.run()
+        assert results == [None]
+        assert resolver.failures == 1
+
+    def test_query_is_encrypted_on_the_wire(self, dns_world):
+        # "only the DNS server and the host know the content of the query"
+        world = dns_world
+        alice = world.hosts["alice"]
+        captured = []
+        access_link = world.as_a.node._links["alice"]
+        original = access_link.send_from
+
+        def spy(sender, frame):
+            captured.append(frame)
+            return original(sender, frame)
+
+        access_link.send_from = spy
+        resolver = DnsClient(alice, world.zone.public_key)
+        resolver.resolve("very-private-domain.example", lambda record: None)
+        world.network.run()
+        assert captured
+        for frame in captured:
+            assert b"very-private-domain" not in frame
+
+    def test_third_party_dns_server(self, dns_world):
+        # A privacy-conscious host resolves through ANOTHER AS's DNS
+        # (Section VII-A: "use a DNS server that he trusts and that is
+        # not operated by the AS that he resides in").
+        world = dns_world
+        bob = world.hosts["bob"]
+        publish_service(bob, world.zone, "svc.example")
+        alice = world.hosts["alice"]
+        foreign_dns_cert = world.as_b.dns_identity.owned.cert
+        resolver = DnsClient(
+            alice, world.zone.public_key, server_cert=foreign_dns_cert, port=5454
+        )
+        results = []
+        resolver.resolve("svc.example", results.append)
+        world.network.run()
+        assert len(results) == 1 and results[0] is not None
+
+
+class TestClientServerEstablishment:
+    def test_receive_only_flow_end_to_end(self, dns_world):
+        """The full Section VII-A client-server dance: resolve, connect to
+        the receive-only EphID with 0-RTT data, server answers from a
+        serving EphID, client continues on the serving session."""
+        world = dns_world
+        bob = world.hosts["bob"]
+        record = publish_service(bob, world.zone, "web.example")
+        requests = []
+        bob.listen(80, lambda session, transport, data: requests.append((session, data)))
+
+        alice = world.hosts["alice"]
+        serving_sessions = []
+        alice.connect(
+            record.cert,
+            early_data=b"GET /index.html",
+            dst_port=80,
+            on_accept=serving_sessions.append,
+        )
+        world.network.run()
+
+        # Server got the 0-RTT request on the SERVING session.
+        assert len(requests) == 1
+        assert requests[0][1] == b"GET /index.html"
+        serving_session_server = requests[0][0]
+        assert serving_session_server.local.ephid != record.cert.ephid
+
+        # Client learned the serving EphID and can keep talking on it.
+        assert len(serving_sessions) == 1
+        client_session = serving_sessions[0]
+        assert client_session.peer_cert.ephid == serving_session_server.local.ephid
+        alice.send_data(client_session, b"GET /second", dst_port=80)
+        world.network.run()
+        assert len(requests) == 2
+
+        # And the server can push data back.
+        serving_session_server.peer_cert.verify(
+            world.rpki.signing_key_of(100), now=world.network.now
+        )
+        bob.send_data(serving_session_server, b"200 OK")
+        world.network.run()
+        assert alice.inbox[-1][2] == b"200 OK"
+
+    def test_shutoff_on_published_ephid_does_not_break_service(self, dns_world):
+        """Receive-only EphIDs cannot be shut off, so a published service
+        survives hostile shutoff attempts (the motivation for
+        receive-only EphIDs in Section VII-A)."""
+        world = dns_world
+        bob = world.hosts["bob"]
+        record = publish_service(bob, world.zone, "resilient.example")
+        # Mallory tries to get the published EphID revoked with a
+        # fabricated packet: the AA refuses (ownership checks fail).
+        mallory = world.hosts["alice"]
+        m_owned = mallory.acquire_ephid_direct()
+        from repro.wire.apna import ApnaHeader, ApnaPacket
+
+        fake_header = ApnaHeader(
+            src_aid=200,
+            src_ephid=record.cert.ephid,  # claim the RO EphID sent traffic
+            dst_ephid=m_owned.ephid,
+            dst_aid=100,
+        )
+        fake = ApnaPacket(fake_header, b"fabricated evidence")
+        request = mallory.stack.build_shutoff_request(fake.to_wire(), m_owned)
+        response = world.as_b.aa.handle_shutoff(request)
+        assert not response.accepted
+        # The service EphID is not in any revocation list.
+        assert not world.as_b.revocations.contains(record.cert.ephid)

@@ -1,0 +1,205 @@
+"""Tests for encrypted ICMP (Section VIII-B future work)."""
+
+import pytest
+
+from repro.core import framing
+from repro.core.icmp_crypto import (
+    CertificateCache,
+    EncryptedIcmpCodec,
+    IcmpCryptoError,
+    MODE_ENCRYPTED,
+    MODE_PLAINTEXT,
+)
+from repro.core.session import ConnectionAccept, ConnectionRequest
+from repro.wire.icmp import ECHO_REQUEST, IcmpMessage, TIME_EXCEEDED
+
+
+@pytest.fixture()
+def env(world):
+    alice = world.hosts["alice"]
+    bob = world.hosts["bob"]
+    alice_owned = alice.acquire_ephid_direct()
+    bob_owned = bob.acquire_ephid_direct()
+    return world, alice, bob, alice_owned, bob_owned
+
+
+class TestCertificateCache:
+    def test_insert_get_roundtrip(self, env):
+        world, _alice, _bob, alice_owned, _bob_owned = env
+        cache = CertificateCache()
+        cache.insert(alice_owned.cert)
+        assert cache.get(alice_owned.ephid, now=0.0) is alice_owned.cert
+        assert cache.hits == 1
+
+    def test_miss_counts(self):
+        cache = CertificateCache()
+        assert cache.get(b"\x00" * 16, now=0.0) is None
+        assert cache.misses == 1
+
+    def test_expired_certificates_are_dropped(self, env):
+        world, _alice, _bob, alice_owned, _bob_owned = env
+        cache = CertificateCache()
+        cache.insert(alice_owned.cert)
+        late = alice_owned.cert.exp_time + 1
+        assert cache.get(alice_owned.ephid, now=late) is None
+        assert len(cache) == 0
+
+    def test_lru_eviction_bounds_storage(self, env):
+        world, alice, _bob, _ao, _bo = env
+        cache = CertificateCache(capacity=3)
+        owned = [alice.acquire_ephid_direct() for _ in range(5)]
+        for item in owned:
+            cache.insert(item.cert)
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        # The oldest two are gone, the newest three remain.
+        assert cache.get(owned[0].ephid, now=0.0) is None
+        assert cache.get(owned[4].ephid, now=0.0) is not None
+
+    def test_reinsert_refreshes_lru_position(self, env):
+        world, alice, _bob, _ao, _bo = env
+        cache = CertificateCache(capacity=2)
+        first, second, third = (alice.acquire_ephid_direct() for _ in range(3))
+        cache.insert(first.cert)
+        cache.insert(second.cert)
+        cache.insert(first.cert)  # refresh
+        cache.insert(third.cert)  # evicts `second`, not `first`
+        assert cache.get(first.ephid, now=0.0) is not None
+        assert cache.get(second.ephid, now=0.0) is None
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CertificateCache(capacity=0)
+
+    def test_observes_connection_request(self, env):
+        world, _alice, _bob, alice_owned, _bob_owned = env
+        cache = CertificateCache()
+        payload = framing.frame(
+            framing.PT_CONN_REQUEST, ConnectionRequest(alice_owned.cert).pack()
+        )
+        assert cache.observe_payload(payload) == 1
+        assert cache.get(alice_owned.ephid, now=0.0) is not None
+
+    def test_observes_connection_accept(self, env):
+        world, _alice, _bob, _ao, bob_owned = env
+        cache = CertificateCache()
+        payload = framing.frame(
+            framing.PT_CONN_ACCEPT, ConnectionAccept(bob_owned.cert).pack()
+        )
+        assert cache.observe_payload(payload) == 1
+
+    def test_ignores_data_frames(self):
+        cache = CertificateCache()
+        assert cache.observe_payload(framing.frame(framing.PT_DATA, b"x" * 64)) == 0
+        assert len(cache) == 0
+
+    def test_ignores_garbage(self):
+        cache = CertificateCache()
+        assert cache.observe_payload(b"") == 0
+        assert cache.observe_payload(b"\xff garbage") == 0
+        assert (
+            cache.observe_payload(framing.frame(framing.PT_CONN_REQUEST, b"short"))
+            == 0
+        )
+
+
+class TestEncryptedIcmp:
+    def _codecs(self, env):
+        """A router-side codec (alice's view) and the receiving host's."""
+        world, alice, bob, alice_owned, bob_owned = env
+        sender = EncryptedIcmpCodec(bob_owned)  # e.g. a router in AS B
+        receiver = EncryptedIcmpCodec(alice_owned)
+        return world, sender, receiver, alice_owned, bob_owned
+
+    def test_encrypts_when_cert_cached(self, env):
+        world, sender, receiver, alice_owned, _bo = self._codecs(env)
+        sender.cache.insert(alice_owned.cert)
+        message = IcmpMessage(TIME_EXCEEDED, payload=b"hop 3")
+        wire = sender.seal(message, alice_owned.ephid, now=0.0)
+        assert wire[0] == MODE_ENCRYPTED
+        opened, encrypted = receiver.open(wire)
+        assert encrypted
+        assert opened == message
+        assert sender.sealed == 1
+        assert sender.encryption_rate == 1.0
+
+    def test_plaintext_fallback_when_not_cached(self, env):
+        world, sender, receiver, alice_owned, _bo = self._codecs(env)
+        message = IcmpMessage(ECHO_REQUEST, identifier=7, sequence=1)
+        wire = sender.seal(message, alice_owned.ephid, now=0.0)
+        assert wire[0] == MODE_PLAINTEXT
+        opened, encrypted = receiver.open(wire)
+        assert not encrypted
+        assert opened == message
+        assert sender.plaintext_fallbacks == 1
+        assert sender.encryption_rate == 0.0
+
+    def test_payload_hidden_from_observer(self, env):
+        world, sender, _receiver, alice_owned, _bo = self._codecs(env)
+        sender.cache.insert(alice_owned.cert)
+        secret = b"the offending packet's first bytes"
+        wire = sender.seal(IcmpMessage(TIME_EXCEEDED, payload=secret), alice_owned.ephid, now=0.0)
+        assert secret not in wire
+
+    def test_tampered_message_rejected(self, env):
+        world, sender, receiver, alice_owned, _bo = self._codecs(env)
+        sender.cache.insert(alice_owned.cert)
+        wire = sender.seal(IcmpMessage(TIME_EXCEEDED), alice_owned.ephid, now=0.0)
+        tampered = wire[:-1] + bytes([wire[-1] ^ 1])
+        with pytest.raises(IcmpCryptoError):
+            receiver.open(tampered)
+
+    def test_wrong_recipient_cannot_open(self, env):
+        world, alice, bob, alice_owned, bob_owned = env
+        sender = EncryptedIcmpCodec(bob_owned)
+        sender.cache.insert(alice_owned.cert)
+        wire = sender.seal(IcmpMessage(TIME_EXCEEDED), alice_owned.ephid, now=0.0)
+        outsider = EncryptedIcmpCodec(bob.acquire_ephid_direct())
+        with pytest.raises(IcmpCryptoError):
+            outsider.open(wire)
+
+    def test_receiver_can_verify_sender_cert(self, env):
+        world, sender, receiver, alice_owned, bob_owned = self._codecs(env)
+        sender.cache.insert(alice_owned.cert)
+        wire = sender.seal(IcmpMessage(TIME_EXCEEDED), alice_owned.ephid, now=0.0)
+        as_b_key = world.rpki.signing_key_of(200)
+        message, encrypted = receiver.open(
+            wire, as_public=as_b_key, now=world.network.now
+        )
+        assert encrypted
+
+    def test_receiver_rejects_cert_from_wrong_as(self, env):
+        from repro.core.errors import CertError
+
+        world, sender, receiver, alice_owned, _bo = self._codecs(env)
+        sender.cache.insert(alice_owned.cert)
+        wire = sender.seal(IcmpMessage(TIME_EXCEEDED), alice_owned.ephid, now=0.0)
+        wrong_key = world.rpki.signing_key_of(100)  # sender is in AS 200
+        with pytest.raises(CertError):
+            receiver.open(wire, as_public=wrong_key, now=world.network.now)
+
+    def test_open_rejects_garbage(self, env):
+        _world, _sender, receiver, _ao, _bo = self._codecs(env)
+        with pytest.raises(IcmpCryptoError):
+            receiver.open(b"")
+        with pytest.raises(IcmpCryptoError):
+            receiver.open(bytes([99]) + b"body")
+        with pytest.raises(IcmpCryptoError):
+            receiver.open(bytes([MODE_ENCRYPTED]) + b"short")
+
+    def test_storage_stays_bounded_under_flow_churn(self, env):
+        # The paper's worry: "store short-lived certificates of all flows
+        # ... incurs a lot of storage overhead".  The LRU keeps memory
+        # constant no matter how many flows pass.
+        world, alice, _bob, _ao, bob_owned = env
+        codec = EncryptedIcmpCodec(
+            bob_owned, cache=CertificateCache(capacity=64)
+        )
+        for _ in range(300):
+            owned = alice.acquire_ephid_direct()
+            payload = framing.frame(
+                framing.PT_CONN_REQUEST, ConnectionRequest(owned.cert).pack()
+            )
+            codec.cache.observe_payload(payload)
+        assert len(codec.cache) == 64
+        assert codec.cache.evictions == 300 - 64

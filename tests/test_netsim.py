@@ -1,0 +1,218 @@
+"""Tests for the discrete-event network simulator substrate."""
+
+import pytest
+
+from repro.netsim import Network, Node, Scheduler
+
+
+class Recorder(Node):
+    """Test node that records every frame with its arrival time."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.received: list[tuple[float, str, bytes]] = []
+
+    def handle_frame(self, frame, *, from_node):
+        self.received.append((self.now, from_node, frame))
+
+
+class Forwarder(Node):
+    """Test node that relays every frame to a fixed next hop."""
+
+    def __init__(self, name, next_node):
+        super().__init__(name)
+        self.next_node = next_node
+
+    def handle_frame(self, frame, *, from_node):
+        self.send(self.next_node, frame)
+
+
+class TestScheduler:
+    def test_events_run_in_time_order(self):
+        sched = Scheduler()
+        order = []
+        sched.schedule(2.0, order.append, "b")
+        sched.schedule(1.0, order.append, "a")
+        sched.schedule(3.0, order.append, "c")
+        sched.run()
+        assert order == ["a", "b", "c"]
+        assert sched.now == 3.0
+
+    def test_ties_break_by_insertion_order(self):
+        sched = Scheduler()
+        order = []
+        for tag in "abc":
+            sched.schedule(1.0, order.append, tag)
+        sched.run()
+        assert order == ["a", "b", "c"]
+
+    def test_cancel(self):
+        sched = Scheduler()
+        fired = []
+        handle = sched.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        assert handle.cancelled
+        sched.run()
+        assert fired == []
+
+    def test_run_until_stops_and_advances(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, 1)
+        sched.schedule(5.0, fired.append, 5)
+        sched.run_until(2.0)
+        assert fired == [1]
+        assert sched.now == 2.0
+        sched.run()
+        assert fired == [1, 5]
+
+    def test_nested_scheduling(self):
+        sched = Scheduler()
+        times = []
+
+        def tick(remaining):
+            times.append(sched.now)
+            if remaining:
+                sched.schedule(1.0, tick, remaining - 1)
+
+        sched.schedule(0.0, tick, 3)
+        sched.run()
+        assert times == [0.0, 1.0, 2.0, 3.0]
+
+    def test_rejects_past_scheduling(self):
+        sched = Scheduler(start=10.0)
+        with pytest.raises(ValueError):
+            sched.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sched.schedule_at(5.0, lambda: None)
+
+    def test_event_budget_guard(self):
+        sched = Scheduler()
+
+        def forever():
+            sched.schedule(0.0, forever)
+
+        sched.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sched.run(max_events=100)
+
+    def test_clock_callable(self):
+        sched = Scheduler()
+        clock = sched.clock()
+        sched.schedule(4.0, lambda: None)
+        sched.run()
+        assert clock() == 4.0
+
+
+class TestLinksAndNodes:
+    def test_latency_delivery(self):
+        net = Network()
+        a, b = net.add_node(Recorder("a")), net.add_node(Recorder("b"))
+        net.connect(a, b, latency=0.010, bandwidth=1e12)
+        a.send("b", b"hello")
+        net.run()
+        assert len(b.received) == 1
+        arrival, from_node, frame = b.received[0]
+        assert frame == b"hello"
+        assert from_node == "a"
+        assert arrival == pytest.approx(0.010, rel=1e-6)
+
+    def test_serialization_delay(self):
+        net = Network()
+        a, b = net.add_node(Recorder("a")), net.add_node(Recorder("b"))
+        # 1 Mbps: a 1250-byte frame takes 10 ms to serialize.
+        net.connect(a, b, latency=0.0, bandwidth=1e6)
+        a.send("b", bytes(1250))
+        net.run()
+        assert b.received[0][0] == pytest.approx(0.010, rel=1e-6)
+
+    def test_fifo_backlog(self):
+        net = Network()
+        a, b = net.add_node(Recorder("a")), net.add_node(Recorder("b"))
+        net.connect(a, b, latency=0.0, bandwidth=1e6)
+        for _ in range(3):
+            a.send("b", bytes(1250))  # 10 ms each
+        net.run()
+        arrivals = [t for t, _, _ in b.received]
+        assert arrivals == pytest.approx([0.010, 0.020, 0.030], rel=1e-6)
+
+    def test_queue_overflow_drops(self):
+        net = Network()
+        a, b = net.add_node(Recorder("a")), net.add_node(Recorder("b"))
+        link = net.connect(a, b, latency=0.0, bandwidth=1e3)  # 8 s per KB frame
+        link.queue_limit = 10.0
+        results = [a.send("b", bytes(1000)) for _ in range(4)]
+        assert results == [True, True, False, False]
+        net.run()
+        assert len(b.received) == 2
+
+    def test_bidirectional_independence(self):
+        net = Network()
+        a, b = net.add_node(Recorder("a")), net.add_node(Recorder("b"))
+        net.connect(a, b, latency=0.0, bandwidth=1e6)
+        a.send("b", bytes(1250))
+        b.send("a", bytes(1250))
+        net.run()
+        # Directions do not share the transmitter.
+        assert a.received[0][0] == pytest.approx(0.010, rel=1e-6)
+        assert b.received[0][0] == pytest.approx(0.010, rel=1e-6)
+
+    def test_send_to_unknown_neighbor(self):
+        net = Network()
+        a = net.add_node(Recorder("a"))
+        with pytest.raises(ValueError):
+            a.send("nowhere", b"frame")
+
+    def test_duplicate_node_name_rejected(self):
+        net = Network()
+        net.add_node(Recorder("a"))
+        with pytest.raises(ValueError):
+            net.add_node(Recorder("a"))
+
+    def test_multi_hop_forwarding(self):
+        net = Network()
+        src = net.add_node(Recorder("src"))
+        mid = net.add_node(Forwarder("mid", "dst"))
+        dst = net.add_node(Recorder("dst"))
+        net.connect(src, mid, latency=0.005, bandwidth=1e12)
+        net.connect(mid, dst, latency=0.005, bandwidth=1e12)
+        src.send("mid", b"payload")
+        net.run()
+        assert dst.received[0][0] == pytest.approx(0.010, rel=1e-6)
+        assert dst.received[0][2] == b"payload"
+
+
+class TestRouting:
+    def build_triangle(self):
+        net = Network()
+        for name in "abc":
+            net.add_node(Recorder(name))
+        net.connect("a", "b", latency=0.001)
+        net.connect("b", "c", latency=0.001)
+        net.connect("a", "c", latency=0.010)
+        return net
+
+    def test_next_hop_prefers_low_latency(self):
+        net = self.build_triangle()
+        # a->c direct costs 10 ms; via b costs 2 ms.
+        assert net.next_hop("a", "c") == "b"
+        assert net.next_hop("b", "c") == "c"
+
+    def test_path(self):
+        net = self.build_triangle()
+        assert net.path("a", "c") == ["a", "b", "c"]
+
+    def test_no_route_raises(self):
+        net = Network()
+        net.add_node(Recorder("a"))
+        net.add_node(Recorder("island"))
+        with pytest.raises(ValueError):
+            net.next_hop("a", "island")
+
+    def test_routes_recomputed_after_new_link(self):
+        net = self.build_triangle()
+        assert net.next_hop("a", "c") == "b"
+        d = net.add_node(Recorder("d"))
+        net.connect("a", "d", latency=0.0001)
+        net.connect("d", "c", latency=0.0001)
+        assert net.next_hop("a", "c") == "d"

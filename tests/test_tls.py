@@ -1,0 +1,223 @@
+"""Tests for the Section VIII-F authentication layer (TLS over APNA)."""
+
+import pytest
+
+from repro.core.keys import SigningKeyPair
+from repro.core.session import Session
+from repro.crypto.rng import DeterministicRng
+from repro.tls import (
+    Attestation,
+    AuthRequest,
+    DomainCertificate,
+    TlsAuthError,
+    WebCa,
+    attest,
+    channel_binding,
+    verify_attestation,
+)
+from repro.tls.ca import DomainCertError
+
+
+@pytest.fixture()
+def pki():
+    rng = DeterministicRng("tls")
+    ca = WebCa(rng)
+    domain_keys = SigningKeyPair.generate(rng)
+    cert = ca.issue("shop.example", domain_keys.public, exp_time=10_000)
+    return rng, ca, domain_keys, cert
+
+
+@pytest.fixture()
+def sessions(world):
+    """An honest client/server session pair (same key on both ends)."""
+    alice = world.hosts["alice"]
+    bob = world.hosts["bob"]
+    alice_owned = alice.acquire_ephid_direct()
+    bob_owned = bob.acquire_ephid_direct()
+    client = Session(alice_owned, bob_owned.cert)
+    server = Session(bob_owned, alice_owned.cert)
+    return world, alice, bob, client, server
+
+
+class TestDomainCertificates:
+    def test_issue_and_verify(self, pki):
+        _rng, ca, _keys, cert = pki
+        cert.verify(ca.public_key, now=0.0)
+        assert ca.issued == 1
+
+    def test_pack_parse_roundtrip(self, pki):
+        _rng, _ca, _keys, cert = pki
+        parsed = DomainCertificate.parse(cert.pack())
+        assert parsed == cert
+
+    def test_wrong_ca_rejected(self, pki):
+        rng, _ca, _keys, cert = pki
+        other_ca = WebCa(rng)
+        with pytest.raises(DomainCertError):
+            cert.verify(other_ca.public_key)
+
+    def test_expiry_enforced(self, pki):
+        _rng, ca, _keys, cert = pki
+        with pytest.raises(DomainCertError):
+            cert.verify(ca.public_key, now=20_000.0)
+
+    def test_tampered_name_rejected(self, pki):
+        _rng, ca, _keys, cert = pki
+        forged = DomainCertificate(
+            "evil.example", cert.sig_public, cert.exp_time, cert.signature
+        )
+        with pytest.raises(DomainCertError):
+            forged.verify(ca.public_key)
+
+    def test_rejects_empty_name(self, pki):
+        _rng, _ca, keys, _cert = pki
+        with pytest.raises(DomainCertError):
+            DomainCertificate("", keys.public)
+
+    def test_rejects_overlong_name(self, pki):
+        _rng, _ca, keys, _cert = pki
+        with pytest.raises(DomainCertError):
+            DomainCertificate("x" * 300, keys.public)
+
+    def test_parse_truncated(self, pki):
+        _rng, _ca, _keys, cert = pki
+        with pytest.raises(DomainCertError):
+            DomainCertificate.parse(cert.pack()[:10])
+
+
+class TestMessages:
+    def test_auth_request_roundtrip(self):
+        request = AuthRequest.create("shop.example", DeterministicRng(5))
+        assert AuthRequest.parse(request.pack()) == request
+
+    def test_auth_request_bad_nonce(self):
+        with pytest.raises(TlsAuthError):
+            AuthRequest("shop.example", b"short")
+
+    def test_auth_request_parse_truncated(self):
+        request = AuthRequest.create("shop.example", DeterministicRng(5))
+        with pytest.raises(TlsAuthError):
+            AuthRequest.parse(request.pack()[:-4])
+
+    def test_attestation_roundtrip(self, pki, sessions):
+        rng, _ca, domain_keys, cert = pki
+        _world, _alice, _bob, client, server = sessions
+        request = AuthRequest.create("shop.example", rng)
+        attestation = attest(server, request, cert, domain_keys, rng)
+        parsed = Attestation.parse(attestation.pack())
+        assert parsed.cert == attestation.cert
+        assert parsed.signature == attestation.signature
+
+    def test_attestation_parse_garbage(self):
+        with pytest.raises(TlsAuthError):
+            Attestation.parse(b"")
+        with pytest.raises(TlsAuthError):
+            Attestation.parse(b"\x00\x05tiny")
+
+
+class TestChannelBinding:
+    def test_both_ends_agree(self, sessions):
+        _world, _alice, _bob, client, server = sessions
+        assert channel_binding(client) == channel_binding(server)
+
+    def test_labels_separate(self, sessions):
+        _world, _alice, _bob, client, _server = sessions
+        assert channel_binding(client, b"a") != channel_binding(client, b"b")
+
+    def test_different_sessions_differ(self, sessions):
+        world, alice, bob, client, _server = sessions
+        other = Session(
+            alice.acquire_ephid_direct(), bob.acquire_ephid_direct().cert
+        )
+        assert channel_binding(client) != channel_binding(other)
+
+
+class TestHandshake:
+    def test_honest_server_authenticates(self, pki, sessions):
+        rng, ca, domain_keys, cert = pki
+        _world, _alice, _bob, client, server = sessions
+        request = AuthRequest.create("shop.example", rng)
+        attestation = attest(server, request, cert, domain_keys, rng)
+        verify_attestation(client, request, attestation, ca.public_key, now=0.0)
+
+    def test_no_second_key_exchange_needed(self, pki, sessions):
+        # The paper's point: the APNA session key is reused; the
+        # handshake adds exactly one signature + one verification.
+        _rng, _ca, _keys, _cert = pki
+        _world, _alice, _bob, client, server = sessions
+        assert client.key == server.key
+
+    def test_name_mismatch_rejected(self, pki, sessions):
+        rng, ca, domain_keys, cert = pki
+        _world, _alice, _bob, client, server = sessions
+        request = AuthRequest.create("bank.example", rng)
+        attestation = attest(server, request, cert, domain_keys, rng)
+        with pytest.raises(TlsAuthError, match="names"):
+            verify_attestation(client, request, attestation, ca.public_key)
+
+    def test_unknown_ca_rejected(self, pki, sessions):
+        rng, _ca, domain_keys, cert = pki
+        _world, _alice, _bob, client, server = sessions
+        request = AuthRequest.create("shop.example", rng)
+        attestation = attest(server, request, cert, domain_keys, rng)
+        rogue_ca = WebCa(rng)
+        with pytest.raises(TlsAuthError):
+            verify_attestation(client, request, attestation, rogue_ca.public_key)
+
+    def test_expired_cert_rejected(self, pki, sessions):
+        rng, ca, domain_keys, cert = pki
+        _world, _alice, _bob, client, server = sessions
+        request = AuthRequest.create("shop.example", rng)
+        attestation = attest(server, request, cert, domain_keys, rng)
+        with pytest.raises(TlsAuthError):
+            verify_attestation(
+                client, request, attestation, ca.public_key, now=99_999.0
+            )
+
+    def test_nonce_replay_rejected(self, pki, sessions):
+        # An attestation for one request does not verify for another.
+        rng, ca, domain_keys, cert = pki
+        _world, _alice, _bob, client, server = sessions
+        request_one = AuthRequest.create("shop.example", rng)
+        attestation = attest(server, request_one, cert, domain_keys, rng)
+        request_two = AuthRequest.create("shop.example", rng)
+        with pytest.raises(TlsAuthError):
+            verify_attestation(client, request_two, attestation, ca.public_key)
+
+    def test_intra_domain_mitm_detected(self, pki, sessions):
+        # Section VI-B: "the AS can perform MitM attacks to decrypt
+        # communication between the hosts ... The two hosts can use
+        # security protocols in higher layers (e.g., TLS)".  The channel
+        # binding closes exactly this gap: the AS terminates two
+        # sessions, so the attestation it relays verifies on neither.
+        rng, ca, domain_keys, cert = pki
+        world, alice, bob, _client, _server = sessions
+
+        # The malicious AS mints its own EphIDs and fakes both certs.
+        mitm_client_leg_id = alice.acquire_ephid_direct()
+        mitm_server_leg_id = alice.acquire_ephid_direct()
+        victim_owned = alice.acquire_ephid_direct()
+        server_owned = bob.acquire_ephid_direct()
+
+        victim_session = Session(victim_owned, mitm_client_leg_id.cert)
+        mitm_to_server = Session(mitm_server_leg_id, server_owned.cert)
+        server_session = Session(server_owned, mitm_server_leg_id.cert)
+
+        request = AuthRequest.create("shop.example", rng)
+        # The honest server attests over *its* session with the MitM...
+        attestation = attest(server_session, request, cert, domain_keys, rng)
+        assert channel_binding(mitm_to_server) == channel_binding(server_session)
+        # ...and the relayed attestation fails on the victim's session.
+        with pytest.raises(TlsAuthError, match="channel binding"):
+            verify_attestation(victim_session, request, attestation, ca.public_key)
+
+    def test_attestation_over_wrong_session_rejected(self, pki, sessions):
+        rng, ca, domain_keys, cert = pki
+        world, alice, bob, client, _server = sessions
+        unrelated = Session(
+            bob.acquire_ephid_direct(), alice.acquire_ephid_direct().cert
+        )
+        request = AuthRequest.create("shop.example", rng)
+        attestation = attest(unrelated, request, cert, domain_keys, rng)
+        with pytest.raises(TlsAuthError):
+            verify_attestation(client, request, attestation, ca.public_key)

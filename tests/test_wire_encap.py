@@ -1,0 +1,190 @@
+"""Tests for IPv4, GRE encapsulation, transport shim and ICMP formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wire import (
+    ENCAP_OVERHEAD,
+    ETHERTYPE_APNA,
+    GreHeader,
+    IcmpMessage,
+    Ipv4Header,
+    ParseError,
+    TransportHeader,
+    build_segment,
+    checksum,
+    decapsulate,
+    encapsulate,
+    int_to_ip,
+    ip_to_int,
+    split_segment,
+)
+from repro.wire import icmp
+from repro.wire.errors import FieldError
+from repro.wire.ipv4 import PROTO_GRE
+
+
+class TestIpv4:
+    def test_roundtrip(self):
+        header = Ipv4Header(
+            src=ip_to_int("10.0.0.1"),
+            dst=ip_to_int("192.168.1.200"),
+            protocol=PROTO_GRE,
+            total_length=100,
+            ttl=17,
+        )
+        assert Ipv4Header.parse(header.pack()) == header
+
+    def test_checksum_verifies(self):
+        header = Ipv4Header(src=1, dst=2, protocol=6).pack()
+        assert checksum(header) == 0
+        corrupted = bytearray(header)
+        corrupted[8] ^= 0xFF
+        with pytest.raises(ParseError):
+            Ipv4Header.parse(bytes(corrupted))
+
+    def test_rfc1071_known_checksum(self):
+        # Classic example from RFC 1071 materials.
+        data = bytes.fromhex("4500003c1c4640004006b1e6ac100a63ac100a0c")
+        assert checksum(data) == 0
+
+    def test_rejects_non_ipv4(self):
+        wire = bytearray(Ipv4Header(src=1, dst=2, protocol=6).pack())
+        wire[0] = (6 << 4) | 5
+        with pytest.raises(ParseError):
+            Ipv4Header.parse(bytes(wire))
+
+    def test_ttl_decrement(self):
+        header = Ipv4Header(src=1, dst=2, protocol=6, ttl=2)
+        assert header.decrement_ttl().ttl == 1
+        with pytest.raises(ParseError):
+            header.decrement_ttl().decrement_ttl()
+
+    def test_address_conversion(self):
+        assert ip_to_int("1.2.3.4") == 0x01020304
+        assert int_to_ip(0x01020304) == "1.2.3.4"
+        with pytest.raises(FieldError):
+            ip_to_int("1.2.3")
+        with pytest.raises(FieldError):
+            ip_to_int("1.2.3.256")
+        with pytest.raises(FieldError):
+            int_to_ip(-1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_address_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestGre:
+    def test_header_roundtrip(self):
+        assert GreHeader.parse(GreHeader().pack()) == GreHeader(ETHERTYPE_APNA)
+
+    def test_rejects_nonzero_version(self):
+        with pytest.raises(ParseError):
+            GreHeader.parse(b"\x00\x01\x88\xb7")
+
+    def test_rejects_optional_fields(self):
+        with pytest.raises(ParseError):
+            GreHeader.parse(b"\x80\x00\x88\xb7")  # checksum-present bit
+
+    def test_encapsulation_roundtrip(self):
+        apna = b"\x42" * 60
+        wire = encapsulate(apna, ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2"))
+        outer, inner = decapsulate(wire)
+        assert inner == apna
+        assert outer.src == ip_to_int("10.0.0.1")
+        assert outer.protocol == PROTO_GRE
+        assert len(wire) == ENCAP_OVERHEAD + len(apna)
+
+    def test_encap_overhead_is_24_bytes(self):
+        # IPv4 (20) + GRE (4): the fixed deployment tax discussed in VII-D.
+        assert ENCAP_OVERHEAD == 24
+
+    def test_decapsulate_rejects_non_gre(self):
+        ip = Ipv4Header(src=1, dst=2, protocol=6, total_length=20)
+        with pytest.raises(ParseError):
+            decapsulate(ip.pack())
+
+    def test_decapsulate_rejects_foreign_ethertype(self):
+        ip = Ipv4Header(src=1, dst=2, protocol=PROTO_GRE, total_length=24)
+        wire = ip.pack() + GreHeader(protocol_type=0x0800).pack()
+        with pytest.raises(ParseError):
+            decapsulate(wire)
+
+    def test_decapsulate_rejects_truncation(self):
+        wire = encapsulate(b"x" * 40, 1, 2)
+        with pytest.raises(ParseError):
+            decapsulate(wire[:-10])
+
+
+class TestTransport:
+    def test_segment_roundtrip(self):
+        header = TransportHeader(src_port=1234, dst_port=80, seq=42)
+        segment = build_segment(header, b"GET /")
+        parsed, data = split_segment(segment)
+        assert data == b"GET /"
+        assert parsed.src_port == 1234
+        assert parsed.dst_port == 80
+        assert parsed.length == 5
+
+    def test_split_rejects_truncated(self):
+        segment = build_segment(TransportHeader(1, 2), b"abcdef")
+        with pytest.raises(ParseError):
+            split_segment(segment[:-1])
+
+    def test_field_bounds(self):
+        with pytest.raises(FieldError):
+            TransportHeader(src_port=70000, dst_port=1)
+        with pytest.raises(FieldError):
+            TransportHeader(src_port=1, dst_port=1, seq=2**32)
+        with pytest.raises(FieldError):
+            TransportHeader(src_port=1, dst_port=1, proto=300)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        src=st.integers(min_value=0, max_value=65535),
+        dst=st.integers(min_value=0, max_value=65535),
+        seq=st.integers(min_value=0, max_value=2**32 - 1),
+        data=st.binary(max_size=200),
+    )
+    def test_property_roundtrip(self, src, dst, seq, data):
+        segment = build_segment(TransportHeader(src, dst, seq), data)
+        parsed, recovered = split_segment(segment)
+        assert (parsed.src_port, parsed.dst_port, parsed.seq) == (src, dst, seq)
+        assert recovered == data
+
+
+class TestIcmp:
+    def test_echo_roundtrip(self):
+        message = IcmpMessage(icmp.ECHO_REQUEST, identifier=7, sequence=3, payload=b"ping")
+        assert IcmpMessage.parse(message.pack()) == message
+
+    def test_reply_mirrors_identifier(self):
+        request = IcmpMessage(icmp.ECHO_REQUEST, identifier=9, sequence=5, payload=b"data")
+        reply = request.reply()
+        assert reply.type == icmp.ECHO_REPLY
+        assert (reply.identifier, reply.sequence) == (9, 5)
+        assert reply.payload == b"data"
+
+    def test_reply_only_for_requests(self):
+        with pytest.raises(FieldError):
+            IcmpMessage(icmp.ECHO_REPLY).reply()
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ParseError):
+            IcmpMessage.parse(bytes(7))
+
+    def test_type_names(self):
+        assert IcmpMessage(icmp.ECHO_REQUEST).type_name == "echo-request"
+        assert IcmpMessage(77).type_name == "type-77"
+
+    def test_error_payload_carries_offending_packet(self):
+        offending = b"\x01" * 64
+        message = IcmpMessage(
+            icmp.DEST_UNREACHABLE, code=icmp.CODE_EPHID_EXPIRED, payload=offending[:32]
+        )
+        parsed = IcmpMessage.parse(message.pack())
+        assert parsed.code == icmp.CODE_EPHID_EXPIRED
+        assert parsed.payload == offending[:32]

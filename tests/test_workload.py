@@ -1,0 +1,143 @@
+"""Tests for the synthetic trace generator and analyzer (Section V-A3
+substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    PAPER_HOSTS,
+    PAPER_PEAK_RATE,
+    TraceConfig,
+    TraceGenerator,
+    analyze,
+    build_ipv4_pool,
+    concurrent_flows,
+    ephid_demand_per_second,
+)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    # 1000 hosts over 2 simulated hours keeps the test fast.
+    config = TraceConfig(hosts=1000, duration=7200.0, seed=99)
+    generator = TraceGenerator(config)
+    return config, generator.generate_arrays()
+
+
+class TestGenerator:
+    def test_deterministic_from_seed(self):
+        config = TraceConfig(hosts=100, duration=600.0, seed=5)
+        a = TraceGenerator(config).generate_arrays()
+        b = TraceGenerator(config).generate_arrays()
+        assert np.array_equal(a["start"], b["start"])
+        assert np.array_equal(a["host_id"], b["host_id"])
+
+    def test_starts_sorted_and_in_range(self, small_trace):
+        config, trace = small_trace
+        starts = trace["start"]
+        assert np.all(np.diff(starts) >= 0)
+        assert starts.min() >= 0
+        assert starts.max() <= config.duration
+
+    def test_host_ids_in_range(self, small_trace):
+        config, trace = small_trace
+        assert trace["host_id"].min() >= 0
+        assert trace["host_id"].max() < config.hosts
+
+    def test_duration_distribution_matches_paper_citation(self):
+        # "98% of the flows in the Internet last less than 15 minutes".
+        config = TraceConfig(hosts=2000, duration=7200.0, seed=3)
+        trace = TraceGenerator(config).generate_arrays()
+        under_15min = (trace["duration"] < 900.0).mean()
+        assert 0.95 <= under_15min <= 0.995
+
+    def test_https_fraction(self, small_trace):
+        config, trace = small_trace
+        fraction = trace["is_https"].mean()
+        assert abs(fraction - 74 / 178) < 0.05
+
+    def test_record_iterator_matches_arrays(self):
+        config = TraceConfig(hosts=50, duration=300.0, seed=8)
+        records = list(TraceGenerator(config).generate())
+        arrays = TraceGenerator(config).generate_arrays()
+        assert len(records) == len(arrays["start"])
+        assert records[0].start == pytest.approx(float(arrays["start"][0]))
+        assert records[-1].end >= records[-1].start
+
+    def test_peak_rate_scales_with_hosts(self):
+        # The per-host intensity calibration: peak rate ~ hosts * paper
+        # ratio.  The measured peak (max over ~86k Poisson bins) sits a
+        # few sigma above the intensity peak, so bound it from both sides.
+        config = TraceConfig(hosts=20_000, duration=86_400.0, seed=11)
+        trace = TraceGenerator(config).generate_arrays()
+        stats = analyze(trace, duration=config.duration)
+        expected_peak = PAPER_PEAK_RATE * config.hosts / PAPER_HOSTS
+        sigma = expected_peak**0.5
+        assert expected_peak <= stats.peak_sessions_per_second <= expected_peak + 6 * sigma
+
+
+class TestAnalyzer:
+    def test_stats_fields(self, small_trace):
+        config, trace = small_trace
+        stats = analyze(trace, duration=config.duration)
+        assert stats.total_flows == len(trace["start"])
+        assert 0 < stats.unique_hosts <= config.hosts
+        assert stats.peak_sessions_per_second >= 1
+        assert 0 <= stats.peak_second <= config.duration
+        assert stats.p98_duration < 1000.0
+        assert "flows from" in stats.summary()
+
+    def test_empty_trace(self):
+        stats = analyze({"start": np.array([]), "duration": np.array([]),
+                         "host_id": np.array([]), "is_https": np.array([])})
+        assert stats.total_flows == 0
+
+    def test_concurrent_flows(self):
+        trace = {
+            "start": np.array([0.0, 10.0, 20.0]),
+            "duration": np.array([15.0, 15.0, 15.0]),
+            "host_id": np.array([1, 2, 3]),
+            "is_https": np.array([True, False, True]),
+        }
+        assert concurrent_flows(trace, at=12.0) == 2  # flows 1 and 2
+        assert concurrent_flows(trace, at=50.0) == 0
+
+    def test_ephid_demand_equals_new_session_rate(self):
+        trace = {
+            "start": np.array([0.2, 0.7, 1.1, 1.5, 1.9]),
+            "duration": np.ones(5),
+            "host_id": np.arange(5),
+            "is_https": np.ones(5, dtype=bool),
+        }
+        demand = ephid_demand_per_second(trace, horizon=3.0)
+        assert demand[0] == 2 and demand[1] == 3
+
+
+class TestPacketPools:
+    def test_ipv4_pool_sizes(self):
+        pool = build_ipv4_pool(size=128, count=10)
+        assert all(len(f) == 128 for f in pool.wire_frames)
+
+    def test_ipv4_pool_parses(self):
+        from repro.wire.ipv4 import Ipv4Header
+
+        pool = build_ipv4_pool(size=256, count=5)
+        for frame in pool.wire_frames:
+            Ipv4Header.parse(frame)
+
+    def test_apna_pool_valid_at_border_router(self, world):
+        from repro.core.border_router import Action
+        from repro.workload.packets import build_apna_pool
+
+        alice = world.hosts["alice"]
+        pool = build_apna_pool(world.as_a, [alice], size=128, count=8, dst_aid=200)
+        assert all(len(f) == 128 for f in pool.wire_frames)
+        for packet in pool.apna_packets:
+            verdict = world.as_a.br.process_outgoing(packet)
+            assert verdict.action is Action.FORWARD_INTER
+
+    def test_apna_pool_size_guard(self, world):
+        from repro.workload.packets import build_apna_pool
+
+        with pytest.raises(ValueError):
+            build_apna_pool(world.as_a, [world.hosts["alice"]], size=40, count=1)

@@ -1,0 +1,153 @@
+"""Tests for the top-level public API (`repro` and `repro.world`)."""
+
+import pytest
+
+import repro
+from repro.core.autonomous_system import ApnaHostNode
+from repro.world import (
+    TwoAsWorld,
+    build_as_chain,
+    build_as_star,
+    build_transit_stub,
+    build_two_as_internet,
+)
+
+
+class TestBuildTwoAsInternet:
+    def test_returns_wired_world(self):
+        world = build_two_as_internet(seed=1)
+        assert isinstance(world, TwoAsWorld)
+        assert world.as_a.aid == 100
+        assert world.as_b.aid == 200
+        assert world.rpki is world.as_a.rpki
+
+    def test_custom_aids(self):
+        world = build_two_as_internet(seed=1, aid_a=3320, aid_b=1299)
+        assert world.as_a.aid == 3320
+        assert world.as_b.aid == 1299
+
+    def test_both_ases_published_to_rpki(self):
+        world = build_two_as_internet(seed=1)
+        assert world.as_a.aid in world.rpki
+        assert world.as_b.aid in world.rpki
+
+    def test_deterministic_for_equal_seeds(self):
+        one = build_two_as_internet(seed=42)
+        two = build_two_as_internet(seed=42)
+        assert one.as_a.keys.signing.public == two.as_a.keys.signing.public
+
+    def test_different_seeds_differ(self):
+        one = build_two_as_internet(seed=1)
+        two = build_two_as_internet(seed=2)
+        assert one.as_a.keys.signing.public != two.as_a.keys.signing.public
+
+
+class TestAttachHost:
+    def test_attaches_bootstrapped_host(self):
+        world = build_two_as_internet(seed=3)
+        host = world.attach_host("alice", side="a")
+        assert isinstance(host, ApnaHostNode)
+        assert world.hosts["alice"] is host
+        # Bootstrapped: the host can immediately acquire EphIDs.
+        owned = host.acquire_ephid_direct()
+        assert len(owned.ephid) == 16
+
+    def test_side_b(self):
+        world = build_two_as_internet(seed=3)
+        host = world.attach_host("bob", side="b")
+        assert host.assembly.aid == world.as_b.aid
+
+    def test_invalid_side_rejected(self):
+        world = build_two_as_internet(seed=3)
+        with pytest.raises(ValueError):
+            world.attach_host("mallory", side="c")
+
+    def test_end_to_end_data_flow(self):
+        world = build_two_as_internet(seed=4)
+        alice = world.attach_host("alice", side="a")
+        bob = world.attach_host("bob", side="b")
+        received = []
+        bob.listen(80, lambda session, transport, data: received.append(data))
+        peer = bob.acquire_ephid_direct()
+        alice.connect(peer.cert, early_data=b"hello world", dst_port=80)
+        world.network.run()
+        assert received == [b"hello world"]
+
+
+class TestChainTopology:
+    def test_chain_aids(self):
+        world = build_as_chain(4, seed=1)
+        assert [a.aid for a in world.ases] == [100, 200, 300, 400]
+
+    def test_end_to_end_path_crosses_every_as(self):
+        world = build_as_chain(4, seed=1)
+        assert world.as_path(100, 400) == [100, 200, 300, 400]
+
+    def test_too_short_chain_rejected(self):
+        with pytest.raises(ValueError):
+            build_as_chain(1)
+
+    def test_data_flows_across_the_chain(self):
+        world = build_as_chain(3, seed=2)
+        alice = world.attach_host("alice", 100)
+        bob = world.attach_host("bob", 300)
+        received = []
+        bob.listen(80, lambda session, transport, data: received.append(data))
+        peer = bob.acquire_ephid_direct()
+        alice.connect(peer.cert, early_data=b"across the chain", dst_port=80)
+        world.network.run()
+        assert received == [b"across the chain"]
+
+    def test_as_by_aid_lookup(self):
+        world = build_as_chain(3, seed=1)
+        assert world.as_by_aid(200) is world.ases[1]
+        with pytest.raises(KeyError):
+            world.as_by_aid(999)
+
+
+class TestStarTopology:
+    def test_hub_and_leaves(self):
+        world = build_as_star(3, seed=1)
+        assert world.ases[0].aid == 1
+        assert [a.aid for a in world.ases[1:]] == [100, 200, 300]
+
+    def test_leaf_to_leaf_crosses_hub(self):
+        world = build_as_star(3, seed=1)
+        assert world.as_path(100, 300) == [100, 1, 300]
+
+    def test_needs_a_leaf(self):
+        with pytest.raises(ValueError):
+            build_as_star(0)
+
+
+class TestTransitStubTopology:
+    def test_counts(self):
+        world = build_transit_stub(3, 2, seed=1)
+        assert len(world.ases) == 3 + 6
+        assert [a.aid for a in world.ases[:3]] == [1, 2, 3]
+
+    def test_core_is_full_mesh(self):
+        world = build_transit_stub(3, 0, seed=1)
+        assert world.as_path(1, 3) == [1, 3]  # direct, not via 2
+
+    def test_stub_to_stub_crosses_both_providers(self):
+        world = build_transit_stub(2, 1, seed=1)
+        assert world.as_path(100, 200) == [100, 1, 2, 200]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            build_transit_stub(0, 1)
+        with pytest.raises(ValueError):
+            build_transit_stub(1, -1)
+
+
+class TestPackageSurface:
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_docstring_mentions_the_paper(self):
+        assert "CoNEXT 2016" in repro.__doc__
