@@ -1,0 +1,45 @@
+"""Scenario-API bench — world construction and profile-driven traffic.
+
+Times what every experiment pays before measuring anything: building a
+world from a preset / spec, and driving a multi-flow
+:class:`~repro.workload.TrafficProfile` through it.  The paper-shape
+verdicts: a built world routes end-to-end, and the profile delivers
+every offered flow.
+"""
+
+from repro import TopologySpec, World, scenarios
+from repro.workload import TraceConfig, TrafficProfile
+
+
+def test_build_fig1(benchmark):
+    world = benchmark(lambda: scenarios.build("fig1", seed=1))
+    assert world.as_path("a", "b") == [100, 200]
+    benchmark.extra_info["ases"] = len(world.ases)
+
+
+def test_build_transit_stub_hierarchy(benchmark):
+    spec = TopologySpec.transit_stub(3, 2)
+
+    world = benchmark(lambda: World.from_spec(spec, seed=1))
+    assert world.as_path("t1s0", "t3s1") == [100, 1, 3, 301]
+    benchmark.extra_info["ases"] = len(world.ases)
+    benchmark.extra_info["links"] = len(spec.links)
+
+
+def test_traffic_profile_on_chain(benchmark):
+    profile = TrafficProfile(
+        trace=TraceConfig(hosts=32, duration=300.0),
+        clients=4,
+        servers=2,
+        max_flows=60,
+    )
+
+    def scenario():
+        world = scenarios.build("chain:3", seed=7)
+        return profile.drive(world)
+
+    report = benchmark.pedantic(scenario, rounds=3, iterations=1)
+    benchmark.extra_info["flows"] = report.flows_offered
+    benchmark.extra_info["events"] = report.events
+    assert report.sessions_opened == report.flows_offered
+    assert report.delivery_ratio == 1.0

@@ -3,8 +3,16 @@
 Each ``bench_*`` module regenerates one paper artifact (see DESIGN.md's
 experiment index).  Wall-clock numbers are machine-dependent; the
 paper-shape verdicts are attached as ``extra_info`` on each benchmark.
+
+Smoke mode
+----------
+
+``pytest benchmarks -q --smoke`` (or ``REPRO_BENCH_SMOKE=1``) runs every
+benchmark body exactly once with no timing calibration — an import- and
+run-check fast enough for CI tier-1, without the long measurement loops.
 """
 
+import os
 import sys
 from pathlib import Path
 
@@ -13,6 +21,46 @@ import pytest
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.experiments.common import build_bench_world  # noqa: E402
+
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collect_file(file_path, parent):
+    """Collect ``bench_*.py`` modules — but only when the benchmarks
+    directory (or a file in it) was named on the command line, so a plain
+    ``pytest`` from the repo root never drags the timing suite into the
+    unit-test pass."""
+    if file_path.suffix != ".py" or not file_path.name.startswith("bench_"):
+        return None
+    args = [
+        Path(arg.split("::")[0]).resolve()
+        for arg in parent.config.invocation_params.args
+        if not str(arg).startswith("-")
+    ]
+    targeted = any(arg == _BENCH_DIR or _BENCH_DIR in arg.parents for arg in args)
+    explicit = file_path in args
+    if targeted and not explicit:
+        return pytest.Module.from_parent(parent, path=file_path)
+    return None
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run each benchmark once, untimed (fast import/run check)",
+    )
+
+
+def pytest_configure(config):
+    env_smoke = os.environ.get("REPRO_BENCH_SMOKE", "0").lower()
+    if config.getoption("--smoke") or env_smoke not in ("", "0", "false", "no", "off"):
+        # pytest-benchmark's own configure hook (plugins run after
+        # conftest hooks) picks this up and runs each benchmarked
+        # callable exactly once without calibration.
+        config.option.benchmark_disable = True
 
 
 @pytest.fixture(scope="module")

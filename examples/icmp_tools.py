@@ -5,27 +5,23 @@ network's error feedback when a destination EphID has gone stale.
 Run:  python examples/icmp_tools.py
 """
 
-from repro.core.autonomous_system import ApnaAutonomousSystem
-from repro.core.rpki import RpkiDirectory, TrustAnchor
-from repro.crypto.rng import DeterministicRng
-from repro.netsim import Network
+from repro import WorldBuilder
 from repro.wire.apna import Endpoint
 
 
 def main() -> None:
-    rng = DeterministicRng("icmp")
-    network = Network()
-    anchor = TrustAnchor(rng)
-    rpki = RpkiDirectory(anchor.public_key, network.scheduler.clock())
-    as_a = ApnaAutonomousSystem(100, network, rpki, anchor, rng=rng)
-    as_b = ApnaAutonomousSystem(200, network, rpki, anchor, rng=rng)
-    as_a.connect_to(as_b, latency=0.025)
-
-    alice = as_a.attach_host("alice")
-    bob = as_b.attach_host("bob")
-    alice.bootstrap()
-    bob.bootstrap()
-    network.compute_routes()
+    world = (
+        WorldBuilder(seed="icmp")
+        .asys("a", aid=100)
+        .asys("b", aid=200)
+        .link("a", "b", latency=0.025, bandwidth=1e9)
+        .host("alice", at="a")
+        .host("bob", at="b")
+        .build()
+    )
+    network = world.network
+    as_b = world.asys("b")
+    alice, bob = world.host("alice"), world.host("bob")
 
     # --- ping: echo request/reply, authenticated and privacy-preserving.
     bob_ephid = bob.acquire_ephid_direct()

@@ -27,16 +27,16 @@ from repro.pathval import (
     PassportVerifier,
     upgrade_to_onpath,
 )
+from repro import scenarios
 from repro.wire.apna import Endpoint
-from repro.world import build_as_chain, build_as_star
 
 
 def main() -> None:
     # --- A four-AS chain: attacker -> transit -> transit -> victim.
-    world = build_as_chain(4, seed="pathval-demo")
+    world = scenarios.build("chain:4", seed="pathval-demo")
     source, transit, _transit2, destination = world.ases
-    attacker = world.attach_host("attacker", source.aid)
-    victim = world.attach_host("victim", destination.aid)
+    attacker = world.attach_host("attacker", at=source.aid)
+    victim = world.attach_host("victim", at=destination.aid)
     print(f"chain: {' -> '.join(f'AS{a.aid}' for a in world.ases)}")
 
     # AS 100 deploys the extension: its agent now accepts on-path requests.
@@ -89,7 +89,7 @@ def main() -> None:
     print(f"source border router now drops {dropped}/{len(flood)} flood packets")
 
     # --- An off-path AS gets nowhere: it holds no stamp for these packets.
-    bystander_world = build_as_star(1, seed="bystander")
+    bystander_world = scenarios.build("star:1", seed="bystander")
     bystander = bystander_world.ases[0]
     world.rpki.publish(world.anchor.certify(999, bystander.keys))
     rogue = OnPathShutoffRequest.build(

@@ -14,31 +14,28 @@ Run:  python examples/privacy_surveillance.py
 
 from collections import Counter
 
-from repro.core.autonomous_system import ApnaAutonomousSystem
-from repro.core.rpki import RpkiDirectory, TrustAnchor
-from repro.crypto.rng import DeterministicRng
-from repro.netsim import Network
+from repro import WorldBuilder
 from repro.wire import gre
 from repro.wire.apna import ApnaPacket
 
 
 def main() -> None:
-    rng = DeterministicRng("surveillance")
-    network = Network()
-    anchor = TrustAnchor(rng)
-    rpki = RpkiDirectory(anchor.public_key, network.scheduler.clock())
-    as_a = ApnaAutonomousSystem(100, network, rpki, anchor, rng=rng)
-    as_b = ApnaAutonomousSystem(200, network, rpki, anchor, rng=rng)
-    as_a.connect_to(as_b, latency=0.010)
+    senders = ("whistleblower", "journalist-src", "regular-joe")
+    builder = (
+        WorldBuilder(seed="surveillance")
+        .asys("a", aid=100)
+        .asys("b", aid=200)
+        .link("a", "b", latency=0.010, bandwidth=1e9)
+    )
+    for name in senders:
+        builder.host(name, at="a")
+    builder.host("news-site", at="b")
+    world = builder.build()
 
-    hosts = []
-    for name in ("whistleblower", "journalist-src", "regular-joe"):
-        host = as_a.attach_host(name)
-        host.bootstrap()
-        hosts.append(host)
-    sink = as_b.attach_host("news-site")
-    sink.bootstrap()
-    network.compute_routes()
+    network = world.network
+    as_a = world.asys("a")
+    hosts = [world.host(name) for name in senders]
+    sink = world.host("news-site")
 
     # --- The tap: every frame on the inter-AS link is recorded.
     tapped: list[bytes] = []

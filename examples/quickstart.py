@@ -1,34 +1,29 @@
 #!/usr/bin/env python3
-"""Quickstart: the Fig. 1 end-to-end workflow in ~60 lines of API use.
+"""Quickstart: the Fig. 1 end-to-end workflow through the scenario API.
 
 Two ASes deploy APNA; Alice (AS 100) talks to Bob (AS 200) with source
-accountability, host privacy and natively encrypted traffic.
+accountability, host privacy and natively encrypted traffic.  The world
+comes from a named preset — the same shape is equally one builder chain:
+
+    WorldBuilder(seed="quickstart").asys("a", aid=100).asys("b", aid=200)
+        .link("a", "b", latency=0.020).build()
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core.autonomous_system import ApnaAutonomousSystem
-from repro.core.rpki import RpkiDirectory, TrustAnchor
-from repro.crypto.rng import DeterministicRng
-from repro.netsim import Network
+from repro import scenarios
 
 
 def main() -> None:
-    # --- The world: a trust anchor (RPKI), two ASes, one inter-AS link.
-    rng = DeterministicRng("quickstart")
-    network = Network()
-    anchor = TrustAnchor(rng)
-    rpki = RpkiDirectory(anchor.public_key, network.scheduler.clock())
-    as_a = ApnaAutonomousSystem(100, network, rpki, anchor, rng=rng)
-    as_b = ApnaAutonomousSystem(200, network, rpki, anchor, rng=rng)
-    as_a.connect_to(as_b, latency=0.020)  # 20 ms one way
+    # --- The world: the paper's Fig. 1 — a trust anchor (RPKI), two ASes
+    #     ("a" = AID 100, "b" = AID 200), one 20 ms inter-AS link.
+    world = scenarios.build("fig1", seed="quickstart")
+    as_a = world.asys("a")
 
-    # --- Step 1 (Fig. 2): hosts bootstrap into their ASes.
-    alice = as_a.attach_host("alice")
-    bob = as_b.attach_host("bob")
-    alice.bootstrap()
-    bob.bootstrap()
-    network.compute_routes()
+    # --- Step 1 (Fig. 2): hosts bootstrap into their ASes.  attach_host
+    #     addresses the AS by name and bootstraps the host in one call.
+    alice = world.attach_host("alice", at="a")
+    bob = world.attach_host("bob", at="b")
     print("bootstrapped: alice into AS100, bob into AS200")
 
     # --- Step 2 (Fig. 3): EphID issuance.
@@ -43,7 +38,7 @@ def main() -> None:
         bob.send_data(session, b"HTTP/1.1 200 OK"),
     ))
     session = alice.connect(bob_ephid.cert, early_data=b"GET / HTTP/1.1", dst_port=80)
-    network.run()
+    world.run()
     print(f"alice received: {alice.inbox[-1][2]!r}")
     print(f"session key (PFS, known only to alice+bob): {session.key.hex()[:16]}…")
 

@@ -23,13 +23,13 @@ from repro.tls import (
     channel_binding,
     verify_attestation,
 )
-from repro.world import build_two_as_internet
+from repro import scenarios
 
 
 def main() -> None:
-    world = build_two_as_internet(seed="tls-demo")
-    alice = world.attach_host("alice", side="a")  # the client
-    shop = world.attach_host("shop", side="b")  # shop.example's server
+    world = scenarios.build("fig1", seed="tls-demo")
+    alice = world.attach_host("alice", at="a")  # the client
+    shop = world.attach_host("shop", at="b")  # shop.example's server
 
     # --- A web PKI exists above APNA: a CA vouches for domain names.
     ca = WebCa(world.rng)
@@ -55,7 +55,7 @@ def main() -> None:
 
     # --- The VI-B gap: alice and a server in HER OWN AS, with the AS
     #     playing man in the middle by minting EphIDs and faking certs.
-    local_server = world.attach_host("local-shop", side="a")
+    local_server = world.attach_host("local-shop", at="a")
     victim_ephid = alice.acquire_ephid_direct()
     server2_ephid = local_server.acquire_ephid_direct()
     # The AS mints its own EphIDs (it runs the MS, it can do this freely)

@@ -7,30 +7,28 @@ immune to hostile shutoffs.
 Run:  python examples/web_service_shutoff.py
 """
 
-from repro.core.autonomous_system import ApnaAutonomousSystem
-from repro.core.rpki import RpkiDirectory, TrustAnchor
-from repro.crypto.rng import DeterministicRng
+from repro import WorldBuilder
 from repro.dns import DnsClient, DnsServer, DnsZone, publish_service
-from repro.netsim import Network
 from repro.wire.apna import ApnaPacket, Endpoint
 
 
 def main() -> None:
-    rng = DeterministicRng("web-service")
-    network = Network()
-    anchor = TrustAnchor(rng)
-    rpki = RpkiDirectory(anchor.public_key, network.scheduler.clock())
-    isp = ApnaAutonomousSystem(100, network, rpki, anchor, rng=rng)  # clients
-    dc = ApnaAutonomousSystem(200, network, rpki, anchor, rng=rng)  # datacenter
-    isp.connect_to(dc, latency=0.015)
+    world = (
+        WorldBuilder(seed="web-service")
+        .asys("isp", aid=100)  # clients
+        .asys("dc", aid=200)  # datacenter
+        .link("isp", "dc", latency=0.015, bandwidth=1e9)
+        .build()
+    )
+    network = world.network
+    isp, dc = world.asys("isp"), world.asys("dc")
 
-    zone = DnsZone(rng)
+    zone = DnsZone(world.rng)
     DnsServer(isp, zone)
     DnsServer(dc, zone)
 
     # --- The server publishes shop.example under a RECEIVE-ONLY EphID.
-    server = dc.attach_host("webserver")
-    server.bootstrap()
+    server = world.attach_host("webserver", at="dc")
     record = publish_service(server, zone, "shop.example")
     print(f"DNS: shop.example -> receive-only EphID {record.cert.ephid.hex()[:16]}…")
 
@@ -43,8 +41,7 @@ def main() -> None:
     server.listen(80, serve)
 
     # --- A legitimate client resolves and fetches (encrypted DNS, 0-RTT data).
-    client = isp.attach_host("customer")
-    client.bootstrap()
+    client = world.attach_host("customer", at="isp")
     resolver = DnsClient(client, zone.public_key)
 
     def on_resolved(rec):
@@ -56,8 +53,7 @@ def main() -> None:
     print(f"customer got: {client.inbox[-1][2]!r}\n")
 
     # --- An abuser hammers the service; the server shuts its EphID off.
-    abuser = isp.attach_host("abuser")
-    abuser.bootstrap()
+    abuser = world.attach_host("abuser", at="isp")
     abuser_ephid = abuser.acquire_ephid_direct()
 
     # Capture the serving session the abuser's traffic arrives on.

@@ -257,7 +257,11 @@ class ShutoffResponse:
     def parse(cls, data: bytes) -> "ShutoffResponse":
         raw, offset = _take(data, 0, 1)
         reason, offset = _take_var(data, offset)
-        return cls(bool(raw[0]), reason.decode("utf-8"))
+        try:
+            text = reason.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise MessageError(f"reason is not valid UTF-8: {exc}") from exc
+        return cls(bool(raw[0]), text)
 
 
 @dataclass(frozen=True)

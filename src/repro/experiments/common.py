@@ -1,14 +1,9 @@
-"""Shared scaffolding for the experiment runners (E1-E10)."""
+"""Shared scaffolding for the experiment runners (E1-E15)."""
 
 from __future__ import annotations
 
-from types import SimpleNamespace
-
-from ..core.autonomous_system import ApnaAutonomousSystem
 from ..core.config import ApnaConfig
-from ..core.rpki import RpkiDirectory, TrustAnchor
-from ..crypto.rng import DeterministicRng
-from ..netsim import Network
+from ..topology import World, WorldBuilder
 
 
 def build_bench_world(
@@ -18,37 +13,26 @@ def build_bench_world(
     config: ApnaConfig | None = None,
     latency: float = 0.010,
     access_latency: float = 0.001,
-) -> SimpleNamespace:
-    """A deterministic two-AS world sized for benchmarking."""
-    rng = DeterministicRng(seed)
-    network = Network()
-    config = config or ApnaConfig()
-    anchor = TrustAnchor(rng)
-    rpki = RpkiDirectory(anchor.public_key, network.scheduler.clock())
-    as_a = ApnaAutonomousSystem(100, network, rpki, anchor, config=config, rng=rng)
-    as_b = ApnaAutonomousSystem(200, network, rpki, anchor, config=config, rng=rng)
-    as_a.connect_to(as_b, latency=latency, bandwidth=1e10)
-    hosts_a = []
-    hosts_b = []
-    for i in range(hosts_per_as):
-        host = as_a.attach_host(f"a{i}", latency=access_latency)
-        host.bootstrap()
-        hosts_a.append(host)
-        host = as_b.attach_host(f"b{i}", latency=access_latency)
-        host.bootstrap()
-        hosts_b.append(host)
-    network.compute_routes()
-    return SimpleNamespace(
-        rng=rng,
-        network=network,
-        anchor=anchor,
-        rpki=rpki,
-        as_a=as_a,
-        as_b=as_b,
-        hosts_a=hosts_a,
-        hosts_b=hosts_b,
-        config=config,
+) -> World:
+    """A deterministic two-AS world sized for benchmarking.
+
+    Built through the unified :class:`~repro.topology.WorldBuilder`; the
+    returned world additionally carries ``hosts_a`` / ``hosts_b`` lists
+    (the bootstrapped hosts per side) for the experiments' convenience.
+    """
+    builder = (
+        WorldBuilder(seed=seed, config=config)
+        .asys("a", aid=100)
+        .asys("b", aid=200)
+        .link("a", "b", latency=latency, bandwidth=1e10)
     )
+    for i in range(hosts_per_as):
+        builder.host(f"a{i}", at="a", latency=access_latency)
+        builder.host(f"b{i}", at="b", latency=access_latency)
+    world = builder.build()
+    world.hosts_a = [world.hosts[f"a{i}"] for i in range(hosts_per_as)]
+    world.hosts_b = [world.hosts[f"b{i}"] for i in range(hosts_per_as)]
+    return world
 
 
 def print_header(title: str, paper_reference: str) -> None:

@@ -28,8 +28,8 @@ from dataclasses import dataclass
 from ..core.certs import FLAG_RECEIVE_ONLY
 from ..dns.server import DnsZone
 from ..metrics import format_table
+from ..scenarios import build as build_scenario
 from ..wire.apna import ApnaPacket
-from ..world import build_two_as_internet
 from .common import print_header
 
 
@@ -94,8 +94,8 @@ def _probe_sessions(world, clients, sessions) -> int:
 
 
 def _run_naive(n_clients: int, attack_rounds: int) -> DesignOutcome:
-    world = build_two_as_internet(seed="e15-naive")
-    server = world.attach_host("server", side="b")
+    world = build_scenario("fig1", seed="e15-naive")
+    server = world.attach_host("server", at="b")
     zone = DnsZone(world.rng)
     _serve_echo(server)
 
@@ -103,14 +103,14 @@ def _run_naive(n_clients: int, attack_rounds: int) -> DesignOutcome:
     zone.register("shop.example", published.cert)
     baseline_updates = zone.updates
 
-    clients = [world.attach_host(f"client-{i}", side="a") for i in range(n_clients)]
+    clients = [world.attach_host(f"client-{i}", at="a") for i in range(n_clients)]
     sessions = []
     for client in clients:
         session = client.connect(published.cert, early_data=b"hello", dst_port=80)
         sessions.append(session)
     world.network.run()
 
-    attacker = world.attach_host("attacker", side="a")
+    attacker = world.attach_host("attacker", at="a")
     accepted = False
     for _round in range(attack_rounds):
         captured = _capture_frames(attacker)
@@ -143,8 +143,8 @@ def _run_naive(n_clients: int, attack_rounds: int) -> DesignOutcome:
 
 
 def _run_receive_only(n_clients: int, attack_rounds: int) -> DesignOutcome:
-    world = build_two_as_internet(seed="e15-ro")
-    server = world.attach_host("server", side="b")
+    world = build_scenario("fig1", seed="e15-ro")
+    server = world.attach_host("server", at="b")
     zone = DnsZone(world.rng)
     _serve_echo(server)
 
@@ -152,7 +152,7 @@ def _run_receive_only(n_clients: int, attack_rounds: int) -> DesignOutcome:
     zone.register("shop.example", published.cert)
     baseline_updates = zone.updates
 
-    clients = [world.attach_host(f"client-{i}", side="a") for i in range(n_clients)]
+    clients = [world.attach_host(f"client-{i}", at="a") for i in range(n_clients)]
     sessions = []
     for client in clients:
         client.connect(published.cert, early_data=b"hello", dst_port=80)
@@ -165,7 +165,7 @@ def _run_receive_only(n_clients: int, attack_rounds: int) -> DesignOutcome:
         )
         sessions.append(serving_session)
 
-    attacker = world.attach_host("attacker", side="a")
+    attacker = world.attach_host("attacker", at="a")
     accepted = False
     for _round in range(attack_rounds):
         captured = _capture_frames(attacker)

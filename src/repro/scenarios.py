@@ -1,0 +1,147 @@
+"""Named scenario presets, resolvable by string.
+
+One registry maps preset names to :class:`~repro.topology.TopologySpec`
+factories, so experiments, benchmarks and one-liners can summon any of
+the paper's evaluation shapes without touching builder code::
+
+    >>> from repro import scenarios
+    >>> world = scenarios.build("fig1", seed=7)          # the Fig. 1 pair
+    >>> chain = scenarios.build("chain:4", seed=1)       # VIII-C path-val
+    >>> aaas = scenarios.build("transit-stub:3x2")       # VIII-E hierarchy
+
+Parameterised presets take their arguments after a colon: ``"chain:N"``,
+``"star:N"``, ``"transit-stub:TxS"``.  Custom scenarios register with
+:func:`register`::
+
+    >>> @scenarios.register("dumbbell", description="two hubs, N leaves each")
+    ... def _dumbbell(arg):
+    ...     n = int(arg or 2)
+    ...     ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .core.config import ApnaConfig
+from .topology import TopologyError, TopologySpec, World
+
+__all__ = ["Scenario", "build", "describe", "names", "register", "spec"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered preset: a name, a blurb and a spec factory.
+
+    The factory receives the raw argument string after the colon (or
+    ``None`` when the preset is invoked bare) and returns a
+    :class:`TopologySpec`.
+    """
+
+    name: str
+    description: str
+    factory: Callable[[str | None], TopologySpec]
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(
+    name: str, *, description: str = ""
+) -> Callable[[Callable[[str | None], TopologySpec]], Callable]:
+    """Decorator: register ``factory(arg) -> TopologySpec`` under ``name``."""
+
+    def _register(factory: Callable[[str | None], TopologySpec]) -> Callable:
+        if name in _REGISTRY:
+            raise TopologyError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = Scenario(name, description, factory)
+        return factory
+
+    return _register
+
+
+def names() -> list[str]:
+    """All registered preset names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def describe() -> list[tuple[str, str]]:
+    """``(name, description)`` pairs for every registered preset."""
+    return [(s.name, s.description) for _, s in sorted(_REGISTRY.items())]
+
+
+def spec(preset: str) -> TopologySpec:
+    """Resolve a preset string (``"fig1"``, ``"chain:5"``, ...) to a spec."""
+    name, _, arg = preset.partition(":")
+    name = name.strip()
+    try:
+        scenario = _REGISTRY[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{', '.join(names())}"
+        ) from None
+    return scenario.factory(arg.strip() or None)
+
+
+def build(
+    preset: str, *, seed: int | str = 0, config: ApnaConfig | None = None
+) -> World:
+    """Build the :class:`World` for a preset string in one call."""
+    return World.from_spec(spec(preset), seed=seed, config=config)
+
+
+# --------------------------------------------------------------------------
+# Built-in presets
+
+
+def _int_arg(arg: str | None, usage: str) -> int:
+    if arg is None:
+        raise TopologyError(f"this scenario needs a parameter: {usage}")
+    try:
+        return int(arg)
+    except ValueError:
+        raise TopologyError(f"bad scenario parameter {arg!r}; usage: {usage}") from None
+
+
+@register("fig1", description="the paper's Fig. 1: two peered ASes (AIDs 100, 200)")
+def _fig1(arg: str | None) -> TopologySpec:
+    if arg is not None:
+        raise TopologyError('"fig1" takes no parameter')
+    return TopologySpec.fig1()
+
+
+@register("two-as", description='alias of "fig1"')
+def _two_as(arg: str | None) -> TopologySpec:
+    return _fig1(arg)
+
+
+@register("chain", description="linear chain of N ASes, as chain:N (Section VIII-C)")
+def _chain(arg: str | None) -> TopologySpec:
+    return TopologySpec.chain(_int_arg(arg, "chain:N"))
+
+
+@register("star", description="one transit hub with N stub leaves")
+def _star(arg: str | None) -> TopologySpec:
+    return TopologySpec.star(_int_arg(arg, "star:N"))
+
+
+@register(
+    "transit-stub",
+    description="T-transit full-mesh core with S stubs per transit (VIII-E)",
+)
+def _transit_stub(arg: str | None) -> TopologySpec:
+    usage = "transit-stub:TxS (e.g. transit-stub:3x2)"
+    if arg is None:
+        raise TopologyError(f"this scenario needs a parameter: {usage}")
+    t, sep, s = arg.partition("x")
+    if not sep:
+        raise TopologyError(f"bad scenario parameter {arg!r}; usage: {usage}")
+    try:
+        n_transits, stubs = int(t), int(s)
+    except ValueError:
+        raise TopologyError(
+            f"bad scenario parameter {arg!r}; usage: {usage}"
+        ) from None
+    return TopologySpec.transit_stub(n_transits, stubs)

@@ -1,5 +1,7 @@
 """Workload substrate: synthetic traces (Section V-A3's proprietary trace
-substitute) and packet pools for the Fig. 8 forwarding experiments."""
+substitute), packet pools for the Fig. 8 forwarding experiments, and
+traffic profiles that replay traces against a built
+:class:`~repro.topology.World`."""
 
 from .analyzer import TraceStats, analyze, concurrent_flows, ephid_demand_per_second
 from .flows import (
@@ -10,6 +12,7 @@ from .flows import (
     TraceGenerator,
 )
 from .packets import PAPER_PACKET_SIZES, PacketPool, build_apna_pool, build_ipv4_pool
+from .profile import TrafficProfile, TrafficReport
 
 __all__ = [
     "PAPER_HOSTS",
@@ -20,6 +23,8 @@ __all__ = [
     "TraceConfig",
     "TraceGenerator",
     "TraceStats",
+    "TrafficProfile",
+    "TrafficReport",
     "analyze",
     "build_apna_pool",
     "build_ipv4_pool",

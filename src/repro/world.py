@@ -1,70 +1,145 @@
-"""Convenience builders for simulated APNA "internets".
+"""Deprecated per-shape world builders (compatibility shims).
 
-Every example, test and experiment needs the same scaffolding: a trust
-anchor, an RPKI directory, ASes wired through the simulator and a few
-bootstrapped hosts.  These builders package that set-up behind one call so
-that downstream users can get to the interesting part — EphIDs, sessions,
-shutoffs — in three lines.
+This module predates the unified scenario API and is kept for one
+release so existing imports keep working.  New code should use:
 
-* :func:`build_two_as_internet` — the canonical two-AS world of Fig. 1.
-* :func:`build_as_chain` — a linear chain (source, transits, destination),
-  the topology of the Section VIII-C path-validation experiments.
-* :func:`build_as_star` — one transit hub with stub leaves.
-* :func:`build_transit_stub` — a small Internet-like hierarchy: a meshed
-  transit core with stub ASes hanging off each transit.
+* :class:`repro.topology.WorldBuilder` / :class:`repro.topology.TopologySpec`
+  to declare arbitrary topologies,
+* :mod:`repro.scenarios` for the named presets that replace these
+  builders one-for-one:
 
->>> world = build_two_as_internet(seed=7)
->>> alice = world.attach_host("alice", side="a")
->>> bob = world.attach_host("bob", side="b")
->>> server_ephid = bob.acquire_ephid_direct()
->>> session = alice.connect(server_ephid.cert, early_data=b"hi")
->>> world.network.run()
+  ====================================  ==============================
+  old                                   new
+  ====================================  ==============================
+  ``build_two_as_internet(seed=7)``     ``scenarios.build("fig1", seed=7)``
+  ``build_as_chain(4)``                 ``scenarios.build("chain:4")``
+  ``build_as_star(3)``                  ``scenarios.build("star:3")``
+  ``build_transit_stub(3, 2)``          ``scenarios.build("transit-stub:3x2")``
+  ``world.attach_host(n, side="a")``    ``world.attach_host(n, at="a")``
+  ``world.attach_host(n, aid)``         ``world.attach_host(n, at=aid)``
+  ====================================  ==============================
+
+Every entry point below emits a :class:`DeprecationWarning` and returns
+a :class:`~repro.topology.World` subclass, so isinstance checks and the
+old attribute surface (``as_a``/``as_b``, ``ases``, ``as_by_aid``,
+``as_path``, ``side=``/positional-AID ``attach_host``) keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
 from .core.autonomous_system import ApnaAutonomousSystem, ApnaHostNode
 from .core.config import ApnaConfig
 from .core.rpki import RpkiDirectory, TrustAnchor
-from .crypto.rng import DeterministicRng, Rng
+from .crypto.rng import Rng
 from .netsim import Network
+from .topology import TopologySpec, World
+
+__all__ = [
+    "MultiAsWorld",
+    "TwoAsWorld",
+    "build_as_chain",
+    "build_as_star",
+    "build_transit_stub",
+    "build_two_as_internet",
+]
 
 
-@dataclass
-class TwoAsWorld:
-    """A two-AS simulated internet with its trust infrastructure.
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see repro.topology / repro.scenarios)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
-    Attributes mirror the entities of the paper's Fig. 1: two ASes (each an
-    assembled Registry Service, Management Service, Border Router and
-    Accountability Agent), the network between them, and the RPKI trust
-    anchor both rely on to verify each other's certificates.
+
+class TwoAsWorld(World):
+    """Deprecated: the pre-redesign two-AS world (now a :class:`World`).
+
+    Kept so ``isinstance(world, TwoAsWorld)`` and the ``side="a"|"b"``
+    addressing of existing code keep working for one release.
     """
 
-    network: Network
-    rng: Rng
-    anchor: TrustAnchor
-    rpki: RpkiDirectory
-    as_a: ApnaAutonomousSystem
-    as_b: ApnaAutonomousSystem
-    config: ApnaConfig
-    hosts: dict[str, ApnaHostNode] = field(default_factory=dict)
+    def __init__(
+        self,
+        network: Network,
+        rng: Rng,
+        anchor: TrustAnchor,
+        rpki: RpkiDirectory,
+        as_a: ApnaAutonomousSystem,
+        as_b: ApnaAutonomousSystem,
+        config: ApnaConfig,
+        hosts: dict[str, ApnaHostNode] | None = None,
+    ) -> None:
+        _deprecated("TwoAsWorld", "World.from_spec(TopologySpec.fig1(), ...)")
+        super().__init__(
+            network=network,
+            rng=rng,
+            anchor=anchor,
+            rpki=rpki,
+            config=config,
+            ases=[as_a, as_b],
+            names={"a": as_a, "b": as_b},
+        )
+        if hosts:
+            self.hosts.update(hosts)
 
-    def attach_host(self, name: str, *, side: str = "a", latency: float = 0.001) -> ApnaHostNode:
-        """Attach and bootstrap a host on AS ``a`` or ``b``.
+    @classmethod
+    def _adopt(cls, world: World) -> "TwoAsWorld":
+        shim = cls.__new__(cls)
+        shim.__dict__.update(world.__dict__)
+        return shim
 
-        The host is bootstrapped (Fig. 2) and routes are recomputed so it is
-        immediately able to acquire EphIDs and open sessions.
-        """
-        if side not in ("a", "b"):
-            raise ValueError(f"side must be 'a' or 'b', got {side!r}")
-        autonomous_system = self.as_a if side == "a" else self.as_b
-        host = autonomous_system.attach_host(name, latency=latency)
-        host.bootstrap()
-        self.network.compute_routes()
-        self.hosts[name] = host
-        return host
+    def attach_host(
+        self, name: str, *, side: str | None = None, at=None, **kwargs
+    ) -> ApnaHostNode:
+        """Attach a host; accepts the legacy ``side="a"|"b"`` keyword."""
+        if side is not None:
+            if at is not None:
+                raise ValueError("pass either side= or at=, not both")
+            if side not in ("a", "b"):
+                raise ValueError(f"side must be 'a' or 'b', got {side!r}")
+            at = side
+        return super().attach_host(name, at=at if at is not None else "a", **kwargs)
+
+
+class MultiAsWorld(World):
+    """Deprecated: the pre-redesign N-AS world (now a :class:`World`)."""
+
+    def __init__(
+        self,
+        network: Network,
+        rng: Rng,
+        anchor: TrustAnchor,
+        rpki: RpkiDirectory,
+        ases: list[ApnaAutonomousSystem],
+        config: ApnaConfig,
+        hosts: dict[str, ApnaHostNode] | None = None,
+    ) -> None:
+        _deprecated("MultiAsWorld", "World.from_spec(...)")
+        super().__init__(
+            network=network,
+            rng=rng,
+            anchor=anchor,
+            rpki=rpki,
+            config=config,
+            ases=list(ases),
+        )
+        if hosts:
+            self.hosts.update(hosts)
+
+    @classmethod
+    def _adopt(cls, world: World) -> "MultiAsWorld":
+        shim = cls.__new__(cls)
+        shim.__dict__.update(world.__dict__)
+        return shim
+
+    def attach_host(self, name: str, aid: int | None = None, *, at=None, **kwargs) -> ApnaHostNode:
+        """Attach a host; accepts the legacy positional-AID addressing."""
+        if aid is not None and at is not None:
+            raise ValueError("pass either the positional aid or at=, not both")
+        return super().attach_host(name, at=at if at is not None else aid, **kwargs)
 
 
 def build_two_as_internet(
@@ -76,103 +151,16 @@ def build_two_as_internet(
     bandwidth: float = 1e10,
     config: ApnaConfig | None = None,
 ) -> TwoAsWorld:
-    """Build the canonical two-AS world used throughout the examples.
+    """Deprecated: build the canonical two-AS world of Fig. 1.
 
-    Parameters
-    ----------
-    seed:
-        Seed for the deterministic RNG; equal seeds give bit-identical
-        worlds (keys, EphIDs, traffic), which keeps examples reproducible.
-    aid_a, aid_b:
-        AS identifiers (the AID of the paper's ``AID:EphID`` tuple).
-    latency:
-        One-way inter-AS link latency in seconds.
-    bandwidth:
-        Inter-AS link bandwidth in bits per second.
-    config:
-        Optional :class:`~repro.core.config.ApnaConfig` shared by both ASes.
+    Use ``scenarios.build("fig1", seed=...)`` or
+    ``World.from_spec(TopologySpec.fig1(...), seed=...)`` instead.
     """
-    rng = DeterministicRng(seed)
-    network = Network()
-    config = config or ApnaConfig()
-    anchor = TrustAnchor(rng)
-    rpki = RpkiDirectory(anchor.public_key, network.scheduler.clock())
-    as_a = ApnaAutonomousSystem(aid_a, network, rpki, anchor, config=config, rng=rng)
-    as_b = ApnaAutonomousSystem(aid_b, network, rpki, anchor, config=config, rng=rng)
-    as_a.connect_to(as_b, latency=latency, bandwidth=bandwidth)
-    network.compute_routes()
-    return TwoAsWorld(
-        network=network,
-        rng=rng,
-        anchor=anchor,
-        rpki=rpki,
-        as_a=as_a,
-        as_b=as_b,
-        config=config,
+    _deprecated("build_two_as_internet()", 'scenarios.build("fig1")')
+    spec = TopologySpec.fig1(
+        aid_a=aid_a, aid_b=aid_b, latency=latency, bandwidth=bandwidth
     )
-
-
-@dataclass
-class MultiAsWorld:
-    """An arbitrary multi-AS simulated internet."""
-
-    network: Network
-    rng: Rng
-    anchor: TrustAnchor
-    rpki: RpkiDirectory
-    ases: list[ApnaAutonomousSystem]
-    config: ApnaConfig
-    hosts: dict[str, ApnaHostNode] = field(default_factory=dict)
-
-    def as_by_aid(self, aid: int) -> ApnaAutonomousSystem:
-        for autonomous_system in self.ases:
-            if autonomous_system.aid == aid:
-                return autonomous_system
-        raise KeyError(f"no AS with AID {aid}")
-
-    def attach_host(
-        self, name: str, aid: int, *, latency: float = 0.001
-    ) -> ApnaHostNode:
-        """Attach and bootstrap a host on the AS with the given AID."""
-        host = self.as_by_aid(aid).attach_host(name, latency=latency)
-        host.bootstrap()
-        self.network.compute_routes()
-        self.hosts[name] = host
-        return host
-
-    def as_path(self, src_aid: int, dst_aid: int) -> list[int]:
-        """The AID sequence packets take from ``src_aid`` to ``dst_aid``."""
-        names = self.network.path(f"AS{src_aid}", f"AS{dst_aid}")
-        return [int(name[2:]) for name in names]
-
-
-class _WorldFoundation:
-    """Shared bring-up for the multi-AS builders."""
-
-    def __init__(self, seed: int | str, config: ApnaConfig | None) -> None:
-        self.rng = DeterministicRng(seed)
-        self.network = Network()
-        self.config = config or ApnaConfig()
-        self.anchor = TrustAnchor(self.rng)
-        self.rpki = RpkiDirectory(
-            self.anchor.public_key, self.network.scheduler.clock()
-        )
-
-    def make_as(self, aid: int) -> ApnaAutonomousSystem:
-        return ApnaAutonomousSystem(
-            aid, self.network, self.rpki, self.anchor, config=self.config, rng=self.rng
-        )
-
-    def finish(self, ases: list[ApnaAutonomousSystem]) -> MultiAsWorld:
-        self.network.compute_routes()
-        return MultiAsWorld(
-            network=self.network,
-            rng=self.rng,
-            anchor=self.anchor,
-            rpki=self.rpki,
-            ases=ases,
-            config=self.config,
-        )
+    return TwoAsWorld._adopt(World.from_spec(spec, seed=seed, config=config))
 
 
 def build_as_chain(
@@ -185,18 +173,18 @@ def build_as_chain(
     aid_step: int = 100,
     config: ApnaConfig | None = None,
 ) -> MultiAsWorld:
-    """A linear AS chain: AID 100 — 200 — 300 — ...
-
-    Traffic between the end ASes traverses every AS in between, which is
-    the worst case for path-validation overhead (Section VIII-C).
-    """
+    """Deprecated: a linear AS chain.  Use ``scenarios.build("chain:N")``."""
+    _deprecated("build_as_chain()", 'scenarios.build("chain:N")')
     if n_ases < 2:
         raise ValueError("a chain needs at least two ASes")
-    foundation = _WorldFoundation(seed, config)
-    ases = [foundation.make_as(first_aid + i * aid_step) for i in range(n_ases)]
-    for left, right in zip(ases, ases[1:]):
-        left.connect_to(right, latency=latency, bandwidth=bandwidth)
-    return foundation.finish(ases)
+    spec = TopologySpec.chain(
+        n_ases,
+        first_aid=first_aid,
+        aid_step=aid_step,
+        latency=latency,
+        bandwidth=bandwidth,
+    )
+    return MultiAsWorld._adopt(World.from_spec(spec, seed=seed, config=config))
 
 
 def build_as_star(
@@ -209,22 +197,18 @@ def build_as_star(
     first_leaf_aid: int = 100,
     config: ApnaConfig | None = None,
 ) -> MultiAsWorld:
-    """One transit hub with ``n_leaves`` stub ASes.
-
-    The hub is ``ases[0]``.  Every leaf-to-leaf path crosses the hub,
-    making this the canonical topology for transit-AS experiments
-    (e.g. an on-path shutoff issued by the hub).
-    """
+    """Deprecated: a hub-and-leaves star.  Use ``scenarios.build("star:N")``."""
+    _deprecated("build_as_star()", 'scenarios.build("star:N")')
     if n_leaves < 1:
         raise ValueError("a star needs at least one leaf")
-    foundation = _WorldFoundation(seed, config)
-    hub = foundation.make_as(hub_aid)
-    ases = [hub]
-    for i in range(n_leaves):
-        leaf = foundation.make_as(first_leaf_aid + i * 100)
-        hub.connect_to(leaf, latency=latency, bandwidth=bandwidth)
-        ases.append(leaf)
-    return foundation.finish(ases)
+    spec = TopologySpec.star(
+        n_leaves,
+        hub_aid=hub_aid,
+        first_leaf_aid=first_leaf_aid,
+        latency=latency,
+        bandwidth=bandwidth,
+    )
+    return MultiAsWorld._adopt(World.from_spec(spec, seed=seed, config=config))
 
 
 def build_transit_stub(
@@ -237,27 +221,17 @@ def build_transit_stub(
     bandwidth: float = 1e10,
     config: ApnaConfig | None = None,
 ) -> MultiAsWorld:
-    """A two-tier Internet: a full-mesh transit core with stub ASes.
-
-    Transit ASes get AIDs 1..n; stub ASes get ``100 * transit + k``.
-    ``ases`` lists transits first, then stubs grouped by their provider.
-    This is the scale model of "APNA-as-a-Service" deployments
-    (Section VIII-E): small stub ASes gain privacy by mixing their
-    customers into a large upstream's anonymity set.
-    """
+    """Deprecated: transit-stub hierarchy.  Use ``scenarios.build("transit-stub:TxS")``."""
+    _deprecated("build_transit_stub()", 'scenarios.build("transit-stub:TxS")')
     if n_transits < 1:
         raise ValueError("need at least one transit AS")
     if stubs_per_transit < 0:
         raise ValueError("stubs_per_transit must be non-negative")
-    foundation = _WorldFoundation(seed, config)
-    transits = [foundation.make_as(i + 1) for i in range(n_transits)]
-    for i, left in enumerate(transits):
-        for right in transits[i + 1 :]:
-            left.connect_to(right, latency=core_latency, bandwidth=bandwidth)
-    stubs = []
-    for tier_index, transit in enumerate(transits, start=1):
-        for k in range(stubs_per_transit):
-            stub = foundation.make_as(100 * tier_index + k)
-            transit.connect_to(stub, latency=edge_latency, bandwidth=bandwidth)
-            stubs.append(stub)
-    return foundation.finish(transits + stubs)
+    spec = TopologySpec.transit_stub(
+        n_transits,
+        stubs_per_transit,
+        core_latency=core_latency,
+        edge_latency=edge_latency,
+        bandwidth=bandwidth,
+    )
+    return MultiAsWorld._adopt(World.from_spec(spec, seed=seed, config=config))

@@ -1,0 +1,29 @@
+"""Tier-1 smoke check for the benchmark suite.
+
+Runs ``pytest benchmarks -q --smoke`` in a subprocess: every ``bench_*``
+module is imported and every benchmark body executed exactly once with
+no timing calibration (see ``benchmarks/conftest.py``), so API drift in
+the benchmarks is caught by the normal test pass in seconds.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_benchmarks_run_in_smoke_mode():
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks", "-q", "--smoke", "-p", "no:cacheprovider"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"benchmark smoke run failed\n--- stdout ---\n{result.stdout[-4000:]}"
+        f"\n--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    summary = result.stdout.strip().splitlines()[-1]
+    assert "passed" in summary, summary

@@ -1,10 +1,19 @@
-"""Tests for the top-level public API (`repro` and `repro.world`)."""
+"""Tests for the top-level public API (`repro` and `repro.world`).
+
+`repro.world` is now a deprecation-shim layer over `repro.topology`;
+the legacy suites below double as the shim regression tests, and the
+classes at the bottom pin the shim<->new-API equivalence.
+"""
 
 import pytest
 
 import repro
+from repro import scenarios
 from repro.core.autonomous_system import ApnaHostNode
+from repro.core.errors import ApnaError
+from repro.topology import World
 from repro.world import (
+    MultiAsWorld,
     TwoAsWorld,
     build_as_chain,
     build_as_star,
@@ -141,6 +150,95 @@ class TestTransitStubTopology:
             build_transit_stub(1, -1)
 
 
+class TestDeprecationShims:
+    def test_builders_warn(self):
+        with pytest.warns(DeprecationWarning, match="scenarios"):
+            build_two_as_internet(seed=1)
+        with pytest.warns(DeprecationWarning):
+            build_as_chain(2, seed=1)
+        with pytest.warns(DeprecationWarning):
+            build_as_star(1, seed=1)
+        with pytest.warns(DeprecationWarning):
+            build_transit_stub(1, 1, seed=1)
+
+    def test_old_worlds_are_worlds(self):
+        assert issubclass(TwoAsWorld, World)
+        assert issubclass(MultiAsWorld, World)
+        assert isinstance(build_two_as_internet(seed=1), World)
+        assert isinstance(build_as_chain(2, seed=1), World)
+
+    def test_fig1_preset_equals_old_builder(self):
+        old = build_two_as_internet(seed=42)
+        new = scenarios.build("fig1", seed=42)
+        assert old.as_a.keys.signing.public == new.as_a.keys.signing.public
+        assert old.as_b.keys.signing.public == new.as_b.keys.signing.public
+        assert [a.aid for a in old.ases] == [a.aid for a in new.ases]
+
+    def test_chain_preset_equals_old_builder(self):
+        old = build_as_chain(3, seed=7)
+        new = scenarios.build("chain:3", seed=7)
+        assert [a.aid for a in old.ases] == [a.aid for a in new.ases]
+        assert [
+            a.keys.signing.public for a in old.ases
+        ] == [a.keys.signing.public for a in new.ases]
+
+    def test_transit_stub_preset_equals_old_builder(self):
+        old = build_transit_stub(2, 2, seed=3)
+        new = scenarios.build("transit-stub:2x2", seed=3)
+        assert [
+            a.keys.signing.public for a in old.ases
+        ] == [a.keys.signing.public for a in new.ases]
+
+    def test_fig1_quickstart_flow_matches_old_builder(self):
+        """The acceptance bar: identical session outcomes on both paths."""
+
+        def flow(world, a_ref, b_ref):
+            alice = world.attach_host("alice", **{a_ref[0]: a_ref[1]})
+            bob = world.attach_host("bob", **{b_ref[0]: b_ref[1]})
+            received = []
+            bob.listen(80, lambda s, t, d: received.append(d))
+            ephid = bob.acquire_ephid_direct()
+            session = alice.connect(ephid.cert, early_data=b"hi", dst_port=80)
+            world.network.run()
+            return ephid.ephid, session.key, received
+
+        old = flow(build_two_as_internet(seed=7), ("side", "a"), ("side", "b"))
+        new = flow(scenarios.build("fig1", seed=7), ("at", "a"), ("at", "b"))
+        assert old == new
+
+    def test_two_as_world_duplicate_host_rejected(self):
+        world = build_two_as_internet(seed=1)
+        world.attach_host("alice", side="a")
+        with pytest.raises(ApnaError):
+            world.attach_host("alice", side="b")
+        assert world.hosts["alice"].assembly.aid == 100  # not overwritten
+
+    def test_multi_as_world_duplicate_host_rejected(self):
+        world = build_as_chain(2, seed=1)
+        world.attach_host("alice", 100)
+        with pytest.raises(ApnaError):
+            world.attach_host("alice", 200)
+
+    def test_old_worlds_accept_new_addressing_too(self):
+        two = build_two_as_internet(seed=1)
+        assert two.attach_host("h1", at="b").assembly.aid == 200
+        multi = build_as_chain(2, seed=1)
+        assert multi.attach_host("h2", at=200).assembly.aid == 200
+
+    def test_conflicting_old_and_new_addressing_rejected(self):
+        two = build_two_as_internet(seed=1)
+        with pytest.raises(ValueError, match="not both"):
+            two.attach_host("h1", side="a", at="b")
+        multi = build_as_chain(2, seed=1)
+        with pytest.raises(ValueError, match="not both"):
+            multi.attach_host("h2", 100, at=200)
+
+    def test_unknown_aid_message_lists_known_ases(self):
+        world = build_as_chain(2, seed=1)
+        with pytest.raises(KeyError, match="known ASes"):
+            world.as_by_aid(999)
+
+
 class TestPackageSurface:
     def test_version_is_a_string(self):
         assert isinstance(repro.__version__, str)
@@ -149,5 +247,19 @@ class TestPackageSurface:
         for name in repro.__all__:
             assert getattr(repro, name) is not None, name
 
+    def test_new_api_exported_at_the_root(self):
+        for name in (
+            "World",
+            "WorldBuilder",
+            "TopologySpec",
+            "TrafficProfile",
+            "scenarios",
+        ):
+            assert name in repro.__all__
+
     def test_docstring_mentions_the_paper(self):
         assert "CoNEXT 2016" in repro.__doc__
+
+    def test_quickstart_docs_use_the_scenario_api(self):
+        assert 'scenarios.build("fig1"' in repro.__doc__
+        assert "repro.scenarios" in repro.__doc__
