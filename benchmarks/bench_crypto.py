@@ -1,69 +1,110 @@
 """E9 bench — crypto micro-costs underlying every paper number.
 
 The paper's performance rests on AES-NI (EphID ops, packet MACs) and
-ed25519 REF10 (certificates).  These micro-benchmarks expose where the
-pure-Python reproduction pays, and ablate the data-plane AEAD choice
-(GCM, the paper's cited mode, vs the default Encrypt-then-MAC).
+ed25519 REF10 (certificates).  Every micro-benchmark here runs once per
+available crypto backend (``pure`` vs ``openssl``, see
+:mod:`repro.crypto.backend`), reproducing the paper's software-vs-AES-NI
+comparison directly: the ``openssl`` rows are the AES-NI data path, the
+``pure`` rows are the software baseline.  The data-plane AEAD ablation
+(GCM, the paper's cited mode, vs Encrypt-then-MAC) rides the same axis.
 """
 
 import pytest
 
-from repro.crypto import AES, Cmac, ed25519, x25519
+from repro.crypto import AES, Cmac
+from repro.crypto import backend as crypto_backend
 from repro.crypto.aead import EtmScheme, GcmScheme
 from repro.crypto.kdf import hkdf
+from repro.crypto.modes import ctr_xcrypt
 
 KEY16 = bytes(range(16))
 KEY32 = bytes(range(32))
 
+BACKENDS = crypto_backend.available_backends()
 
-def test_aes_block_encrypt(benchmark):
-    cipher = AES(KEY16)
+
+@pytest.fixture(params=BACKENDS)
+def backend_name(request):
+    return request.param
+
+
+@pytest.fixture
+def provider(backend_name, benchmark):
+    benchmark.extra_info["crypto_backend"] = backend_name
+    return crypto_backend.get_backend(backend_name)
+
+
+def test_aes_block_encrypt(benchmark, provider):
+    cipher = AES(KEY16, backend=provider)
     benchmark(cipher.encrypt_block, bytes(16))
 
 
-def test_cmac_64_byte_packet(benchmark):
-    mac = Cmac(KEY16)
+@pytest.mark.parametrize("size", [64, 1518], ids=["64B", "1518B"])
+def test_aes_ctr_xcrypt(benchmark, provider, size):
+    """Bulk CTR — the paper's per-packet AES operation at both ends of
+    the Fig. 8 size range."""
+    cipher = AES(KEY16, backend=provider)
+    payload = bytes(size)
+    counter = bytes(16)
+    benchmark(ctr_xcrypt, cipher, counter, payload)
+    benchmark.extra_info["packet_size"] = size
+
+
+def test_cmac_64_byte_packet(benchmark, provider):
+    mac = Cmac(KEY16, backend=provider)
     benchmark(mac.tag, bytes(64), 8)
 
 
-def test_cmac_1518_byte_packet(benchmark):
-    mac = Cmac(KEY16)
+def test_cmac_1518_byte_packet(benchmark, provider):
+    mac = Cmac(KEY16, backend=provider)
     benchmark(mac.tag, bytes(1518), 8)
 
 
 @pytest.mark.parametrize("scheme_cls", [EtmScheme, GcmScheme], ids=["etm", "gcm"])
-def test_aead_seal_512(benchmark, scheme_cls):
+def test_aead_seal_512(benchmark, provider, scheme_cls):
     """The data-plane ablation: EtM vs GCM on a 512-byte payload."""
-    scheme = scheme_cls(KEY32)
+    scheme = scheme_cls(KEY32, backend=provider)
     nonce = bytes(12)
     benchmark(scheme.seal, nonce, bytes(512))
 
 
 @pytest.mark.parametrize("scheme_cls", [EtmScheme, GcmScheme], ids=["etm", "gcm"])
-def test_aead_open_512(benchmark, scheme_cls):
-    scheme = scheme_cls(KEY32)
+def test_aead_open_512(benchmark, provider, scheme_cls):
+    scheme = scheme_cls(KEY32, backend=provider)
     nonce = bytes(12)
     sealed = scheme.seal(nonce, bytes(512))
     benchmark(scheme.open, nonce, sealed)
 
 
-def test_x25519_shared_secret(benchmark):
+def test_x25519_shared_secret(benchmark, provider):
     """The per-session ECDH (connection establishment)."""
-    peer = x25519.public_key(b"\x01" * 32)
-    benchmark(x25519.shared_secret, b"\x02" * 32, peer)
+    peer = provider.x25519_public_key(b"\x01" * 32)
+    benchmark(provider.x25519_shared_secret, b"\x02" * 32, peer)
 
 
-def test_ed25519_sign(benchmark):
+def test_ed25519_sign(benchmark, provider):
     """Certificate issuance cost at the MS."""
-    benchmark(ed25519.sign, bytes(32), b"certificate tbs bytes")
+    benchmark(provider.ed25519_sign, bytes(32), b"certificate tbs bytes")
 
 
-def test_ed25519_verify(benchmark):
+def test_ed25519_verify(benchmark, provider):
     """Certificate verification cost at hosts and the AA."""
-    public = ed25519.public_key(bytes(32))
-    signature = ed25519.sign(bytes(32), b"certificate tbs bytes")
-    benchmark(ed25519.verify, public, b"certificate tbs bytes", signature)
+    public = provider.ed25519_public_key(bytes(32))
+    signature = provider.ed25519_sign(bytes(32), b"certificate tbs bytes")
+    benchmark(provider.ed25519_verify, public, b"certificate tbs bytes", signature)
 
 
-def test_hkdf_session_key(benchmark):
-    benchmark(hkdf, bytes(32), info=b"apna-session-v1:" + bytes(32), length=32)
+def test_hkdf_session_key(benchmark, backend_name, provider):
+    with crypto_backend.use_backend(provider):
+        benchmark(hkdf, bytes(32), info=b"apna-session-v1:" + bytes(32), length=32)
+
+
+def test_ephid_codec_open(benchmark, provider):
+    """The Fig. 6 EphID decode — the paper's headline 'one MAC check plus
+    one AES operation' per-packet cost, per backend."""
+    from repro.core.ephid import EphIdCodec
+
+    codec = EphIdCodec(bytes(16), bytes(range(16)), backend=provider)
+    ephid = codec.seal(hid=0x10000, exp_time=10**9, iv=42)
+    benchmark(codec.open, ephid)
+    benchmark.extra_info["paper_result"] = "1 MAC check + 1 AES op per packet"

@@ -1,12 +1,20 @@
 """E1 bench — EphID issuance rate (paper Section V-A3).
 
 Paper: 500k requests in 6.9 s on 4 cores = 13.7 us/EphID = 72.8k/s,
-18.7x the trace's peak demand of 3,888 sessions/s.
+18.7x the trace's peak demand of 3,888 sessions/s.  The raw Fig. 6
+seal/open micro-benchmarks run once per crypto backend (``pure`` vs
+``openssl``), quantifying the paper's AES-NI-vs-software gap on the
+construction itself.
 """
 
 import pytest
 
+from repro.core.ephid import EphIdCodec
+from repro.crypto import backend as crypto_backend
 from repro.workload import TraceConfig, TraceGenerator, analyze
+
+ENC_KEY = bytes(range(16))
+MAC_KEY = bytes(range(16, 32))
 
 
 def test_ephid_issuance_full_path(benchmark, bench_world, bench_host):
@@ -29,9 +37,12 @@ def test_ephid_issuance_full_path(benchmark, bench_world, bench_host):
     benchmark.extra_info["paper_us_per_ephid"] = 13.7
 
 
-def test_ephid_seal_only(benchmark, bench_world):
+@pytest.mark.parametrize("backend_name", crypto_backend.available_backends())
+def test_ephid_seal_only(benchmark, backend_name):
     """The raw Fig. 6 construction (2 AES ops), the paper's inner loop."""
-    codec = bench_world.as_a.codec
+    codec = EphIdCodec(
+        ENC_KEY, MAC_KEY, backend=crypto_backend.get_backend(backend_name)
+    )
     state = {"iv": 0}
 
     def seal():
@@ -39,13 +50,18 @@ def test_ephid_seal_only(benchmark, bench_world):
         codec.seal(hid=0x10000, exp_time=10**9, iv=state["iv"])
 
     benchmark(seal)
+    benchmark.extra_info["crypto_backend"] = backend_name
 
 
-def test_ephid_open_only(benchmark, bench_world):
+@pytest.mark.parametrize("backend_name", crypto_backend.available_backends())
+def test_ephid_open_only(benchmark, backend_name):
     """Stateless EphID decode — the border router's per-packet operation."""
-    codec = bench_world.as_a.codec
+    codec = EphIdCodec(
+        ENC_KEY, MAC_KEY, backend=crypto_backend.get_backend(backend_name)
+    )
     ephid = codec.seal(hid=0x10000, exp_time=10**9, iv=42)
     benchmark(codec.open, ephid)
+    benchmark.extra_info["crypto_backend"] = backend_name
 
 
 def test_issuance_rate_exceeds_trace_peak(benchmark, bench_world, bench_host):

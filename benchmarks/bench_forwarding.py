@@ -4,12 +4,19 @@ Paper: line-rate forwarding (120 Gbps testbed) at every size; the APNA
 checks add no penalty.  Here each size is a separate benchmark so the
 pps-vs-size series of Fig. 8(a) falls out of the benchmark table, and
 the calibrated-capacity verdict is attached as extra_info.
+
+The backend-axis benchmark runs the same egress pipeline over a world
+built per crypto backend (``pure`` vs ``openssl``), reproducing the
+paper's AES-NI-vs-software forwarding comparison end to end (EphID open
++ CMAC verify per packet).
 """
 
 import pytest
 
 from repro.baselines.plain_ip import PlainIpRouter, RoutingTable
 from repro.core.border_router import Action
+from repro.crypto import backend as crypto_backend
+from repro.experiments.common import build_bench_world
 from repro.wire import gre
 from repro.wire.apna import ApnaPacket
 from repro.workload.packets import PAPER_PACKET_SIZES, build_apna_pool, build_ipv4_pool
@@ -81,6 +88,46 @@ def test_plain_ipv4_baseline(benchmark, size):
 
     benchmark(forward_one)
     benchmark.extra_info["packet_size"] = size
+
+
+@pytest.fixture(scope="module", params=crypto_backend.available_backends())
+def backend_world(request):
+    """A bench world whose entire crypto substrate is pinned to one backend.
+
+    The packet pool is built and the border router's lazy per-host CMAC
+    cache is warmed *inside* the pinned-backend context, so the timed
+    loop runs every crypto operation on the requested backend.
+    """
+    with crypto_backend.use_backend(request.param):
+        world = build_bench_world(seed=4321, hosts_per_as=2)
+        frames = build_apna_pool(
+            world.as_a, world.hosts_a, size=512, count=64, dst_aid=200
+        ).wire_frames
+        for frame in frames:
+            verdict = world.as_a.br.process_outgoing(ApnaPacket.from_wire(frame))
+            assert verdict.action is Action.FORWARD_INTER
+    return request.param, world, frames
+
+
+def test_apna_egress_backend_axis(benchmark, backend_world):
+    """Fig. 8(a) at 512B, per crypto backend: the software-vs-AES-NI gap
+    on the full per-packet verdict path (EphID open + CMAC check)."""
+    name, world, frames = backend_world
+    br = world.as_a.br
+    state = {"i": 0}
+
+    def forward_one():
+        frame = frames[state["i"] % len(frames)]
+        state["i"] += 1
+        packet = ApnaPacket.from_wire(frame)
+        verdict = br.process_outgoing(packet)
+        assert verdict.action is Action.FORWARD_INTER
+        gre.encapsulate(frame, src_ip=100, dst_ip=verdict.next_aid)
+
+    benchmark(forward_one)
+    benchmark.extra_info["crypto_backend"] = name
+    benchmark.extra_info["packet_size"] = 512
+    benchmark.extra_info["paper_result"] = "AES-NI keeps APNA at line rate"
 
 
 def test_transit_forwarding(benchmark, bench_world, pools):

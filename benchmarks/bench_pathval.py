@@ -8,6 +8,7 @@ and the OPT chain for endpoint-verifiable paths.
 
 import pytest
 
+from repro.crypto import backend as crypto_backend
 from repro.experiments.e11_pathval import build_chain
 from repro.pathval import (
     AsPairwiseKeys,
@@ -61,21 +62,26 @@ def test_passport_stamp(benchmark, chain_world, path_length):
     benchmark.extra_info["expected_shape"] = "cost ~ path length"
 
 
-def test_passport_verify(benchmark, chain_world):
-    """Per-hop verification: one CMAC regardless of path length."""
+@pytest.mark.parametrize("backend_name", crypto_backend.available_backends())
+def test_passport_verify(benchmark, chain_world, backend_name):
+    """Per-hop verification: one CMAC regardless of path length — per
+    crypto backend, since this is a pure data-plane symmetric-crypto op."""
     ases = chain_world["ases"]
     source, transit = ases[0], ases[1]
-    stamper = PassportStamper(
-        AsPairwiseKeys(source.aid, source.keys.exchange, chain_world["rpki"])
-    )
-    verifier = PassportVerifier(
-        AsPairwiseKeys(transit.aid, transit.keys.exchange, chain_world["rpki"])
-    )
     packet = chain_world["packet"]
-    passport = stamper.stamp(packet, [a.aid for a in ases[1:]])
-    assert verifier.verify(packet, passport)
+    with crypto_backend.use_backend(backend_name):
+        stamper = PassportStamper(
+            AsPairwiseKeys(source.aid, source.keys.exchange, chain_world["rpki"])
+        )
+        verifier = PassportVerifier(
+            AsPairwiseKeys(transit.aid, transit.keys.exchange, chain_world["rpki"])
+        )
+        passport = stamper.stamp(packet, [a.aid for a in ases[1:]])
+        # Warm the lazy pairwise-key/CMAC caches under the pinned backend.
+        assert verifier.verify(packet, passport)
 
     benchmark(verifier.verify, packet, passport)
+    benchmark.extra_info["crypto_backend"] = backend_name
 
 
 @pytest.mark.parametrize("path_length", [2, 4, 8])

@@ -14,7 +14,10 @@ Two pipelines, both built purely from symmetric cryptography:
 The router is sans-IO: it turns a packet into a :class:`Verdict`, and the
 AS assembly (or a benchmark loop) acts on it.  Per-host CMAC instances
 are cached so steady-state verification costs one AES pass over the
-packet, mirroring the AES-NI data path of the paper's DPDK prototype.
+packet.  With the ``openssl`` crypto backend active (see
+:mod:`repro.crypto.backend`) that pass — and the EphID open before it —
+runs on AES-NI, which *is* the data path of the paper's DPDK prototype
+rather than a simulation of it.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..crypto.cmac import Cmac
+from ..crypto.util import ct_eq
 from ..wire import icmp as icmp_wire
 from ..wire.apna import ApnaPacket
 from .ephid import EphIdCodec
@@ -136,7 +140,7 @@ class BorderRouter:
         if not self._hostdb.is_valid(info.hid):
             return self._drop(DropReason.SRC_HID_INVALID)
         expected = self._mac_for(info.hid).tag(packet.mac_input(), self._mac_size)
-        if expected != header.mac:
+        if not ct_eq(expected, header.mac):
             return self._drop(DropReason.BAD_MAC)
         # Replay detection runs after the MAC check so that spoofed
         # packets cannot pollute the filter against a victim's nonces.

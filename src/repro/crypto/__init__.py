@@ -1,4 +1,4 @@
-"""From-scratch cryptographic substrate for the APNA reproduction.
+"""Cryptographic substrate for the APNA reproduction.
 
 Everything the paper's protocols need is implemented here directly:
 
@@ -11,12 +11,43 @@ Everything the paper's protocols need is implemented here directly:
 * :mod:`repro.crypto.x25519` — Curve25519 Diffie-Hellman (RFC 7748).
 * :mod:`repro.crypto.ed25519` — Ed25519 signatures (RFC 8032).
 * :mod:`repro.crypto.rng` — system and deterministic randomness.
+
+Backend selection
+-----------------
+
+Every primitive above is a facade over a pluggable *backend* (see
+:mod:`repro.crypto.backend`).  Two providers ship:
+
+* ``"pure"`` — the from-scratch implementations in this package,
+  dependency-free and byte-for-byte the reference semantics.
+* ``"openssl"`` — delegation to the ``cryptography`` package (OpenSSL
+  with AES-NI), mirroring the paper's DPDK/AES-NI data plane so the
+  border-router verdict loop and EphID issuance run at hardware speed.
+
+The backend is chosen once at import time: set
+``REPRO_CRYPTO_BACKEND=pure`` (or ``openssl``) to force one, otherwise
+``openssl`` is used when the ``cryptography`` package is importable and
+``pure`` is the clean offline fallback.  Inspect the choice with
+:func:`active_backend`; switch at runtime with :func:`set_backend` or
+the :func:`use_backend` context manager (only objects constructed after
+a switch pick up the new provider).  The two providers are pinned
+against each other by the cross-backend differential suite in
+``tests/test_crypto_backends.py``.
 """
 
 from .aead import AeadScheme, EtmScheme, GcmScheme, new_aead
-from .aes import AES, BLOCK_SIZE
-from .cmac import Cmac, cmac
-from .gcm import AesGcm
+from .aes import AES, BLOCK_SIZE, PureAES
+from .backend import (
+    BackendUnavailable,
+    active_backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
+from .cmac import Cmac, PureCmac, cmac
+from .gcm import AesGcm, PureAesGcm
 from .kdf import derive_subkey, hkdf, hkdf_expand, hkdf_extract, hmac_sha256
 from .modes import cbc_decrypt, cbc_encrypt, cbc_mac, ctr_keystream, ctr_xcrypt
 from .rng import DeterministicRng, Rng, SystemRng
@@ -28,12 +59,18 @@ __all__ = [
     "BLOCK_SIZE",
     "AeadScheme",
     "AesGcm",
+    "BackendUnavailable",
     "Cmac",
     "DeterministicRng",
     "EtmScheme",
     "GcmScheme",
+    "PureAES",
+    "PureAesGcm",
+    "PureCmac",
     "Rng",
     "SystemRng",
+    "active_backend",
+    "available_backends",
     "cbc_decrypt",
     "cbc_encrypt",
     "cbc_mac",
@@ -43,12 +80,16 @@ __all__ = [
     "ctr_xcrypt",
     "derive_subkey",
     "ed25519",
+    "get_backend",
     "hkdf",
     "hkdf_expand",
     "hkdf_extract",
     "hmac_sha256",
     "inc_counter",
     "new_aead",
+    "register_backend",
+    "set_backend",
+    "use_backend",
     "x25519",
     "xor_bytes",
 ]

@@ -1,16 +1,26 @@
-"""AES block cipher (FIPS-197) implemented from scratch.
+"""AES block cipher facade plus the from-scratch FIPS-197 implementation.
 
-The encryption path uses the classic 32-bit T-table formulation, which is
-the fastest formulation available to pure Python.  The decryption path uses
-the straightforward byte-oriented inverse cipher; APNA only ever *encrypts*
+:class:`AES` is a thin facade that dispatches to the active crypto
+backend (see :mod:`repro.crypto.backend`): ``"openssl"`` routes each
+block through an AES-NI-capable OpenSSL context, ``"pure"`` uses
+:class:`PureAES` below.
+
+:class:`PureAES` is the from-scratch implementation.  Its encryption
+path uses the classic 32-bit T-table formulation, which is the fastest
+formulation available to pure Python.  The decryption path uses the
+straightforward byte-oriented inverse cipher; APNA only ever *encrypts*
 blocks on the fast path (CTR mode and CBC-MAC both use the forward
 direction), so decryption speed is irrelevant.
 
 Key sizes 128, 192 and 256 bits are supported.  Correctness is pinned to
-the FIPS-197 appendix vectors in ``tests/test_crypto_aes.py``.
+the FIPS-197 appendix vectors in ``tests/test_crypto_aes.py`` (run under
+whichever backend is active) and the cross-backend differential suite in
+``tests/test_crypto_backends.py``.
 """
 
 from __future__ import annotations
+
+from .backend import resolve_backend
 
 BLOCK_SIZE = 16
 
@@ -102,7 +112,38 @@ def _rot_word(word: int) -> int:
 class AES:
     """An AES cipher instance bound to one key.
 
+    A facade over the active backend's block cipher: construction
+    captures the backend (or an explicit ``backend=`` provider/name), so
+    an instance keeps its implementation even if the active backend is
+    switched later.
+
     >>> cipher = AES(bytes(16))
+    >>> ct = cipher.encrypt_block(bytes(16))
+    >>> cipher.decrypt_block(ct) == bytes(16)
+    True
+    """
+
+    __slots__ = ("_impl", "key_size")
+
+    def __init__(self, key: bytes, *, backend=None) -> None:
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"AES key must be 16, 24 or 32 bytes, got {len(key)}")
+        self.key_size = len(key)
+        self._impl = resolve_backend(backend).new_aes(key)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        return self._impl.encrypt_block(block)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        return self._impl.decrypt_block(block)
+
+
+class PureAES:
+    """The from-scratch AES instance bound to one key (the "pure" backend).
+
+    >>> cipher = PureAES(bytes(16))
     >>> ct = cipher.encrypt_block(bytes(16))
     >>> cipher.decrypt_block(ct) == bytes(16)
     True

@@ -4,12 +4,17 @@ APNA computes a MAC over *every packet* a host sends, keyed with the
 host<->AS shared key (paper Section IV-D2).  Packets have variable length,
 so plain CBC-MAC would be forgeable; CMAC is the standard fix and is what
 this reproduction uses for packet authentication.
+
+:class:`Cmac` is a facade over the active crypto backend (see
+:mod:`repro.crypto.backend`); :class:`PureCmac` is the from-scratch
+implementation that backs the ``"pure"`` provider.
 """
 
 from __future__ import annotations
 
-from .aes import AES, BLOCK_SIZE
-from .util import xor_bytes
+from .aes import BLOCK_SIZE, PureAES
+from .backend import resolve_backend
+from .util import ct_eq, xor_bytes
 
 _R128 = 0x87
 
@@ -25,20 +30,42 @@ def _left_shift(block: bytes) -> bytes:
 class Cmac:
     """A reusable CMAC instance bound to one AES key.
 
-    Subkeys K1/K2 are derived once at construction (RFC 4493 Section 2.3),
-    making repeated ``tag`` calls cheap.
+    The key schedule (and, for the pure backend, the RFC 4493 subkeys
+    K1/K2) is derived once at construction, making repeated ``tag`` calls
+    cheap — the border router caches one instance per host.
+    """
+
+    __slots__ = ("_impl",)
+
+    def __init__(self, key: bytes, *, backend=None) -> None:
+        self._impl = resolve_backend(backend).new_cmac(key)
+
+    def tag(self, message: bytes, length: int = BLOCK_SIZE) -> bytes:
+        """Compute the CMAC tag, optionally truncated to ``length`` bytes."""
+        if not 1 <= length <= BLOCK_SIZE:
+            raise ValueError("tag length must be between 1 and 16 bytes")
+        return self._impl.tag(message, length)
+
+    def verify(self, message: bytes, tag: bytes) -> bool:
+        """Verify a (possibly truncated) tag in constant time."""
+        return ct_eq(self.tag(message, len(tag)), tag)
+
+
+class PureCmac:
+    """The from-scratch RFC 4493 implementation (the "pure" backend).
+
+    Subkeys K1/K2 are derived once at construction (RFC 4493 Section 2.3).
     """
 
     __slots__ = ("_cipher", "_k1", "_k2")
 
     def __init__(self, key: bytes) -> None:
-        self._cipher = AES(key)
+        self._cipher = PureAES(key)
         zero = self._cipher.encrypt_block(bytes(BLOCK_SIZE))
         self._k1 = _left_shift(zero)
         self._k2 = _left_shift(self._k1)
 
     def tag(self, message: bytes, length: int = BLOCK_SIZE) -> bytes:
-        """Compute the CMAC tag, optionally truncated to ``length`` bytes."""
         if not 1 <= length <= BLOCK_SIZE:
             raise ValueError("tag length must be between 1 and 16 bytes")
         n_blocks = max(1, (len(message) + BLOCK_SIZE - 1) // BLOCK_SIZE)
@@ -56,12 +83,6 @@ class Cmac:
         for i in range(n_blocks - 1):
             state = encrypt(xor_bytes(state, message[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE]))
         return encrypt(xor_bytes(state, last))[:length]
-
-    def verify(self, message: bytes, tag: bytes) -> bool:
-        """Verify a (possibly truncated) tag in constant time."""
-        from .util import ct_eq
-
-        return ct_eq(self.tag(message, len(tag)), tag)
 
 
 def cmac(key: bytes, message: bytes, length: int = BLOCK_SIZE) -> bytes:

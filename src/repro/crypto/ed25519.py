@@ -1,14 +1,20 @@
-"""Ed25519 signatures (RFC 8032) implemented from scratch.
+"""Ed25519 signatures (RFC 8032).
 
 The paper signs EphID certificates and shutoff requests with ed25519
-("we use the ed25519 signature scheme", Section V-A2).  This module
-implements the scheme over extended twisted-Edwards coordinates and is
-pinned to the RFC 8032 Section 7.1 test vectors.
+("we use the ed25519 signature scheme", Section V-A2).  The public
+``public_key`` / ``sign`` / ``verify`` functions dispatch to the active
+crypto backend (see :mod:`repro.crypto.backend`); the ``pure_*``
+variants below are the from-scratch implementation over extended
+twisted-Edwards coordinates, pinned to the RFC 8032 Section 7.1 test
+vectors.  Signing is deterministic, so both backends produce identical
+signatures — the differential suite asserts this byte-for-byte.
 """
 
 from __future__ import annotations
 
 import hashlib
+
+from .backend import active_backend
 
 P = 2**255 - 19
 L = 2**252 + 27742317777372353535851937790883648493
@@ -123,13 +129,31 @@ def _expand_secret(secret: bytes) -> tuple[int, bytes]:
 
 def public_key(secret: bytes) -> bytes:
     """Derive the 32-byte public key from a 32-byte secret seed."""
+    return active_backend().ed25519_public_key(secret)
+
+
+def sign(secret: bytes, message: bytes) -> bytes:
+    """Produce a 64-byte Ed25519 signature."""
+    return active_backend().ed25519_sign(secret, message)
+
+
+def verify(public: bytes, message: bytes, signature: bytes) -> bool:
+    """Check an Ed25519 signature; returns False on any malformed input."""
+    return active_backend().ed25519_verify(public, message, signature)
+
+
+# -- the from-scratch implementation (the "pure" backend) --
+
+
+def pure_public_key(secret: bytes) -> bytes:
+    """Derive the 32-byte public key from a 32-byte secret seed."""
     if len(secret) != KEY_SIZE:
         raise ValueError("Ed25519 secret must be 32 bytes")
     a, _ = _expand_secret(secret)
     return _compress(_scalar_mult(a, _BASE))
 
 
-def sign(secret: bytes, message: bytes) -> bytes:
+def pure_sign(secret: bytes, message: bytes) -> bytes:
     """Produce a 64-byte Ed25519 signature."""
     if len(secret) != KEY_SIZE:
         raise ValueError("Ed25519 secret must be 32 bytes")
@@ -142,7 +166,7 @@ def sign(secret: bytes, message: bytes) -> bytes:
     return r_point + s.to_bytes(32, "little")
 
 
-def verify(public: bytes, message: bytes, signature: bytes) -> bool:
+def pure_verify(public: bytes, message: bytes, signature: bytes) -> bool:
     """Check an Ed25519 signature; returns False on any malformed input."""
     if len(public) != KEY_SIZE or len(signature) != SIGNATURE_SIZE:
         return False

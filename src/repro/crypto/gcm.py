@@ -1,18 +1,22 @@
-"""AES-GCM authenticated encryption (NIST SP 800-38D) from scratch.
+"""AES-GCM authenticated encryption (NIST SP 800-38D).
 
 The paper requires a CCA-secure scheme for data-plane encryption and cites
-GCM as a suitable choice.  GHASH is implemented over GF(2^128) with a
-per-key table of the 128 multiples H*x^i, so each block multiplication is
-a sparse XOR walk over the set bits of the accumulator rather than a
-bit-serial shift loop.
+GCM as a suitable choice.  :class:`AesGcm` is a facade over the active
+crypto backend (see :mod:`repro.crypto.backend`); :class:`PureAesGcm` is
+the from-scratch implementation behind the ``"pure"`` provider.  GHASH is
+implemented over GF(2^128) with a per-key table of the 128 multiples
+H*x^i, so each block multiplication is a sparse XOR walk over the set bits
+of the accumulator rather than a bit-serial shift loop.
 
 Correctness is pinned to the NIST GCM validation vectors in
-``tests/test_crypto_gcm.py``.
+``tests/test_crypto_gcm.py`` and the cross-backend differential suite in
+``tests/test_crypto_backends.py``.
 """
 
 from __future__ import annotations
 
-from .aes import AES, BLOCK_SIZE
+from .aes import BLOCK_SIZE, PureAES
+from .backend import resolve_backend
 from .modes import ctr_keystream
 from .util import ct_eq, xor_bytes
 
@@ -61,7 +65,33 @@ class _GHash:
 
 
 class AesGcm:
-    """AES-GCM with 96-bit nonces and configurable tag length."""
+    """AES-GCM with 96-bit nonces and configurable tag length.
+
+    A facade over the active backend; ``seal``/``open`` semantics are
+    identical across backends (the differential suite pins this).
+    """
+
+    NONCE_SIZE = 12
+
+    __slots__ = ("_impl", "tag_size")
+
+    def __init__(self, key: bytes, tag_size: int = 16, *, backend=None) -> None:
+        if not 4 <= tag_size <= 16:
+            raise ValueError("tag size must be between 4 and 16 bytes")
+        self._impl = resolve_backend(backend).new_gcm(key, tag_size)
+        self.tag_size = tag_size
+
+    def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt and authenticate; returns ciphertext || tag."""
+        return self._impl.seal(nonce, plaintext, aad)
+
+    def open(self, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+        """Verify and decrypt; raises ``ValueError`` on authentication failure."""
+        return self._impl.open(nonce, sealed, aad)
+
+
+class PureAesGcm:
+    """The from-scratch SP 800-38D implementation (the "pure" backend)."""
 
     NONCE_SIZE = 12
 
@@ -70,7 +100,7 @@ class AesGcm:
     def __init__(self, key: bytes, tag_size: int = 16) -> None:
         if not 4 <= tag_size <= 16:
             raise ValueError("tag size must be between 4 and 16 bytes")
-        self._cipher = AES(key)
+        self._cipher = PureAES(key)
         self._ghash = _GHash(self._cipher.encrypt_block(bytes(BLOCK_SIZE)))
         self.tag_size = tag_size
 
@@ -80,13 +110,14 @@ class AesGcm:
         # Non-96-bit nonces are GHASHed per the spec (J0 = GHASH(nonce)).
         return self._ghash.digest(b"", nonce)
 
+    def _keystream(self, j0: bytes, length: int) -> bytes:
+        counter1 = (int.from_bytes(j0, "big") + 1) & ((1 << 128) - 1)
+        return ctr_keystream(self._cipher, counter1.to_bytes(BLOCK_SIZE, "big"), length)
+
     def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
         """Encrypt and authenticate; returns ciphertext || tag."""
         j0 = self._counter0(nonce)
-        counter1 = (int.from_bytes(j0, "big") + 1) & ((1 << 128) - 1)
-        stream = ctr_keystream(
-            self._cipher, counter1.to_bytes(BLOCK_SIZE, "big"), len(plaintext)
-        )
+        stream = self._keystream(j0, len(plaintext))
         ciphertext = xor_bytes(plaintext, stream) if plaintext else b""
         s = self._ghash.digest(aad, ciphertext)
         tag = xor_bytes(self._cipher.encrypt_block(j0), s)[: self.tag_size]
@@ -102,8 +133,5 @@ class AesGcm:
         expected = xor_bytes(self._cipher.encrypt_block(j0), s)[: self.tag_size]
         if not ct_eq(expected, tag):
             raise ValueError("GCM authentication failed")
-        counter1 = (int.from_bytes(j0, "big") + 1) & ((1 << 128) - 1)
-        stream = ctr_keystream(
-            self._cipher, counter1.to_bytes(BLOCK_SIZE, "big"), len(ciphertext)
-        )
+        stream = self._keystream(j0, len(ciphertext))
         return xor_bytes(ciphertext, stream) if ciphertext else b""

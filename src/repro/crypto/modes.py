@@ -4,6 +4,14 @@ APNA's EphID construction (paper Fig. 6) uses single-block AES-CTR for
 confidentiality and AES-CBC-MAC over a fixed-length input for integrity;
 both are provided here.  CBC encryption/decryption is included for
 completeness and for cross-checking against NIST SP 800-38A vectors.
+
+Every function accepts any object exposing ``encrypt_block`` /
+``decrypt_block`` (the :class:`~repro.crypto.aes.AES` facade, a backend
+implementation, or the from-scratch :class:`~repro.crypto.aes.PureAES`).
+When the underlying implementation offers a native bulk operation
+(``ctr_xcrypt``, ``cbc_encrypt``, ``cbc_decrypt`` — the OpenSSL backend
+does), multi-block work is handed over wholesale so it runs inside one
+EVP call instead of a Python block loop.
 """
 
 from __future__ import annotations
@@ -14,10 +22,19 @@ from .util import xor_bytes
 _MAX_COUNTER = (1 << 128) - 1
 
 
+def _native(cipher, op: str):
+    """The backend-native bulk operation for ``cipher``, if it has one."""
+    impl = getattr(cipher, "_impl", cipher)
+    return getattr(impl, op, None)
+
+
 def ctr_keystream(cipher: AES, counter_block: bytes, length: int) -> bytes:
     """Generate ``length`` bytes of CTR keystream starting at ``counter_block``."""
     if len(counter_block) != BLOCK_SIZE:
         raise ValueError("counter block must be 16 bytes")
+    native = _native(cipher, "ctr_xcrypt")
+    if native is not None:
+        return native(counter_block, bytes(length))
     counter = int.from_bytes(counter_block, "big")
     blocks = []
     for _ in range((length + BLOCK_SIZE - 1) // BLOCK_SIZE):
@@ -28,6 +45,11 @@ def ctr_keystream(cipher: AES, counter_block: bytes, length: int) -> bytes:
 
 def ctr_xcrypt(cipher: AES, counter_block: bytes, data: bytes) -> bytes:
     """Encrypt or decrypt ``data`` with AES-CTR (the operation is symmetric)."""
+    if len(counter_block) != BLOCK_SIZE:
+        raise ValueError("counter block must be 16 bytes")
+    native = _native(cipher, "ctr_xcrypt")
+    if native is not None:
+        return native(counter_block, data)
     stream = ctr_keystream(cipher, counter_block, len(data))
     return xor_bytes(data, stream)
 
@@ -38,6 +60,9 @@ def cbc_encrypt(cipher: AES, iv: bytes, plaintext: bytes) -> bytes:
         raise ValueError("IV must be 16 bytes")
     if len(plaintext) % BLOCK_SIZE:
         raise ValueError("plaintext must be a multiple of the block size")
+    native = _native(cipher, "cbc_encrypt")
+    if native is not None:
+        return native(iv, plaintext)
     out = []
     prev = iv
     for i in range(0, len(plaintext), BLOCK_SIZE):
@@ -53,6 +78,9 @@ def cbc_decrypt(cipher: AES, iv: bytes, ciphertext: bytes) -> bytes:
         raise ValueError("IV must be 16 bytes")
     if len(ciphertext) % BLOCK_SIZE:
         raise ValueError("ciphertext must be a multiple of the block size")
+    native = _native(cipher, "cbc_decrypt")
+    if native is not None:
+        return native(iv, ciphertext)
     out = []
     prev = iv
     for i in range(0, len(ciphertext), BLOCK_SIZE):
@@ -78,6 +106,12 @@ def cbc_mac(cipher: AES, message: bytes, *, expected_length: int | None = None) 
             f"CBC-MAC misuse: expected fixed length {expected_length}, "
             f"got {len(message)}"
         )
+    if len(message) == BLOCK_SIZE:
+        # Single-block MAC (the EphID hot path): E(0 ^ m) = E(m).
+        return cipher.encrypt_block(message)
+    native = _native(cipher, "cbc_encrypt")
+    if native is not None:
+        return native(bytes(BLOCK_SIZE), message)[-BLOCK_SIZE:]
     tag = bytes(BLOCK_SIZE)
     for i in range(0, len(message), BLOCK_SIZE):
         tag = cipher.encrypt_block(xor_bytes(tag, message[i : i + BLOCK_SIZE]))

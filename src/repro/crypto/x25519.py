@@ -1,12 +1,18 @@
-"""X25519 Diffie-Hellman (RFC 7748) implemented from scratch.
+"""X25519 Diffie-Hellman (RFC 7748).
 
 APNA uses Curve25519 key exchange both for the host<->AS shared key kHA
 (paper Fig. 2) and for the per-session key k_EaEb between EphID key pairs
-(Section IV-D1).  The Montgomery ladder below follows RFC 7748 Section 5
-and is pinned to the RFC test vectors.
+(Section IV-D1).  ``public_key`` and ``shared_secret`` dispatch to the
+active crypto backend (see :mod:`repro.crypto.backend`); the raw
+:func:`x25519` ladder and the ``pure_*`` variants are the from-scratch
+implementation, following RFC 7748 Section 5 and pinned to the RFC test
+vectors.  Both backends apply the same scalar clamping and reject the
+all-zero shared secret, so their outputs agree byte-for-byte.
 """
 
 from __future__ import annotations
+
+from .backend import active_backend
 
 P = 2**255 - 19
 _A24 = 121665
@@ -75,7 +81,7 @@ def x25519(scalar: bytes, u_point: bytes = BASE_POINT) -> bytes:
 
 def public_key(private: bytes) -> bytes:
     """Derive the public u-coordinate for a 32-byte private scalar."""
-    return x25519(private, BASE_POINT)
+    return active_backend().x25519_public_key(private)
 
 
 def shared_secret(private: bytes, peer_public: bytes) -> bytes:
@@ -84,6 +90,16 @@ def shared_secret(private: bytes, peer_public: bytes) -> bytes:
     RFC 7748 recommends rejecting the all-zero result, which arises when
     the peer supplies a low-order point.
     """
+    return active_backend().x25519_shared_secret(private, peer_public)
+
+
+def pure_public_key(private: bytes) -> bytes:
+    """Derive the public u-coordinate for a 32-byte private scalar."""
+    return x25519(private, BASE_POINT)
+
+
+def pure_shared_secret(private: bytes, peer_public: bytes) -> bytes:
+    """Compute the raw shared secret; raises on the all-zero output."""
     secret = x25519(private, peer_public)
     if secret == bytes(KEY_SIZE):
         raise ValueError("X25519 produced the all-zero shared secret")

@@ -24,6 +24,7 @@ import struct
 from dataclasses import dataclass
 
 from ..crypto.cmac import Cmac
+from ..crypto.util import ct_eq
 from ..wire.apna import ApnaPacket
 from ..wire.errors import ParseError
 from .keys import AsPairwiseKeys
@@ -162,7 +163,7 @@ class PassportVerifier:
         expected = self._cmac_for(packet.header.src_aid).tag(
             packet_digest(packet), PASSPORT_MAC_SIZE
         )
-        if presented != expected:
+        if not ct_eq(presented, expected):
             self.invalid += 1
             return False
         self.verified += 1

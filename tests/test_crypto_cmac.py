@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto.cmac import Cmac, cmac
+from repro.crypto.cmac import Cmac, PureCmac, cmac
 
 KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
 MSG_64 = bytes.fromhex(
@@ -28,7 +28,9 @@ def test_rfc4493_vectors(message, tag):
 
 
 def test_subkeys_match_rfc4493():
-    mac = Cmac(KEY)
+    # Subkey derivation is a pure-implementation detail (the OpenSSL
+    # backend keeps K1/K2 inside the EVP context).
+    mac = PureCmac(KEY)
     assert mac._k1.hex() == "fbeed618357133667c85e08f7236a8de"
     assert mac._k2.hex() == "f7ddac306ae266ccf90bc11ee46d513b"
 
