@@ -322,12 +322,26 @@ class ApnaAutonomousSystem:
 
 
 class BorderRouterNode(Node):
-    """The simulated border router: wire bytes in, wire bytes out."""
+    """The simulated border router: wire bytes in, wire bytes out.
+
+    With ``config.forwarding_batch_size > 1`` the node runs the paper's
+    burst data plane: arriving packets are accumulated and pushed through
+    :meth:`BorderRouter.process_batch` / ``process_incoming_batch`` once
+    the burst fills (or after ``forwarding_batch_window`` virtual seconds,
+    whichever comes first), and the verdicts are acted on in arrival
+    order.  The flush timer guarantees a partially-filled burst always
+    drains when the event queue is run.
+    """
 
     def __init__(self, assembly: ApnaAutonomousSystem) -> None:
         super().__init__(f"AS{assembly.aid}")
         self.assembly = assembly
         self.icmp_sent = 0
+        #: Pending (packet, arrived_from_outside) pairs awaiting a burst.
+        self._burst: list[tuple[ApnaPacket, bool]] = []
+        self._burst_timer = None
+        self.bursts_flushed = 0
+        self.largest_burst = 0
 
     # -- frame entry points --
 
@@ -338,16 +352,53 @@ class BorderRouterNode(Node):
             packet = ApnaPacket.from_wire(
                 frame_bytes, with_nonce=assembly.config.replay_protection
             )
-            verdict = assembly.br.process_outgoing(packet)
-            self._act(packet, verdict, arrived_from_outside=False)
+            arrived_from_outside = False
         else:
             # GRE/IPv4 encapsulated bytes from a neighbor AS.
             _, apna_bytes = gre.decapsulate(frame_bytes)
             packet = ApnaPacket.from_wire(
                 apna_bytes, with_nonce=assembly.config.replay_protection
             )
-            verdict = assembly.br.process_incoming(packet)
-            self._act(packet, verdict, arrived_from_outside=True)
+            arrived_from_outside = True
+        batch_size = assembly.config.forwarding_batch_size
+        if batch_size <= 1:
+            if arrived_from_outside:
+                verdict = assembly.br.process_incoming(packet)
+            else:
+                verdict = assembly.br.process_outgoing(packet)
+            self._act(packet, verdict, arrived_from_outside=arrived_from_outside)
+            return
+        self._burst.append((packet, arrived_from_outside))
+        if len(self._burst) >= batch_size:
+            self._flush_burst()
+        elif self._burst_timer is None:
+            self._burst_timer = self.scheduler.schedule(
+                assembly.config.forwarding_batch_window, self._flush_burst
+            )
+
+    def _flush_burst(self) -> None:
+        """Run the batched verdict loop over the accumulated burst."""
+        if self._burst_timer is not None:
+            self._burst_timer.cancel()
+            self._burst_timer = None
+        burst, self._burst = self._burst, []
+        if not burst:
+            return
+        self.bursts_flushed += 1
+        self.largest_burst = max(self.largest_burst, len(burst))
+        br = self.assembly.br
+        egress = [i for i, (_, outside) in enumerate(burst) if not outside]
+        ingress = [i for i, (_, outside) in enumerate(burst) if outside]
+        verdicts: list[Verdict | None] = [None] * len(burst)
+        for indexes, process in (
+            (egress, br.process_batch),
+            (ingress, br.process_incoming_batch),
+        ):
+            for i, verdict in zip(indexes, process([burst[i][0] for i in indexes])):
+                verdicts[i] = verdict
+        for (packet, outside), verdict in zip(burst, verdicts):
+            assert verdict is not None
+            self._act(packet, verdict, arrived_from_outside=outside)
 
     def route_local(self, packet: ApnaPacket) -> None:
         """Route a packet originated by this AS's own services."""

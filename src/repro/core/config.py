@@ -48,6 +48,18 @@ class ApnaConfig:
     #: under 1% up to ~90k packets per window with 4 hashes.
     replay_filter_bits: int = 1 << 20
 
+    #: Max packets a border router accumulates before running the batched
+    #: verdict pipeline (:meth:`repro.core.border_router.BorderRouter.
+    #: process_batch`).  1 = per-packet dispatch (the legacy behaviour);
+    #: larger values amortise clock reads, revocation prunes and crypto
+    #: across the burst, as the paper's DPDK prototype does (§V-B).
+    forwarding_batch_size: int = 1
+
+    #: Max virtual seconds a partially-filled burst may wait before it is
+    #: flushed anyway.  Only meaningful with ``forwarding_batch_size > 1``;
+    #: this is the latency cost of batching.
+    forwarding_batch_window: float = 0.0002
+
     #: Data-plane AEAD ("etm" or "gcm"); any CCA-secure scheme is allowed.
     aead_scheme: str = "etm"
 

@@ -39,6 +39,10 @@ class HostDatabase:
 
     def __init__(self) -> None:
         self._records: dict[int, HostRecord] = {}
+        #: subscriber_id -> live HID (one HID per host), maintained on
+        #: register/revoke_hid so subscriber lookup is O(1) instead of a
+        #: scan over every record.
+        self._by_subscriber: dict[int, int] = {}
         self._next_hid = FIRST_HOST_HID
 
     def allocate_hid(self) -> int:
@@ -52,6 +56,18 @@ class HostDatabase:
     def register(self, record: HostRecord) -> None:
         if record.hid in self._records:
             raise UnknownHostError(f"HID {record.hid} already registered")
+        if record.subscriber_id is not None and not record.revoked:
+            previous = self.find_by_subscriber(record.subscriber_id)
+            if previous is not None:
+                # One live HID per host: the registry must revoke the old
+                # HID before re-bootstrapping a subscriber.  Registering a
+                # second live record would silently shadow the first in
+                # the subscriber index.
+                raise UnknownHostError(
+                    f"subscriber {record.subscriber_id} already has live "
+                    f"HID {previous.hid}"
+                )
+            self._by_subscriber[record.subscriber_id] = record.hid
         self._records[record.hid] = record
 
     def get(self, hid: int) -> HostRecord:
@@ -73,13 +89,24 @@ class HostDatabase:
         if record is None:
             raise UnknownHostError(f"HID {hid} is not registered")
         record.revoked = True
+        if (
+            record.subscriber_id is not None
+            and self._by_subscriber.get(record.subscriber_id) == hid
+        ):
+            del self._by_subscriber[record.subscriber_id]
 
     def find_by_subscriber(self, subscriber_id: int) -> HostRecord | None:
         """Current live HID for a subscriber, if any (one HID per host)."""
-        for record in self._records.values():
-            if record.subscriber_id == subscriber_id and not record.revoked:
-                return record
-        return None
+        hid = self._by_subscriber.get(subscriber_id)
+        if hid is None:
+            return None
+        record = self._records[hid]
+        if record.revoked:
+            # The record was revoked directly (not via revoke_hid); heal
+            # the index so the stale mapping cannot be returned again.
+            del self._by_subscriber[subscriber_id]
+            return None
+        return record
 
     def __contains__(self, hid: int) -> bool:
         return self.is_valid(hid)

@@ -116,7 +116,10 @@ class RotatingReplayFilter:
         self.window = window
         self._current = BloomFilter(bits_per_generation, hashes)
         self._previous = BloomFilter(bits_per_generation, hashes)
-        self._rotated_at = 0.0
+        #: Time of the last rotation; ``None`` until the first packet
+        #: starts the window clock (so a deployment whose clock is wall
+        #: time does not count a spurious rotation on its first packet).
+        self._rotated_at: float | None = None
         self.replays = 0
         self.passed = 0
         self.rotations = 0
@@ -126,11 +129,26 @@ class RotatingReplayFilter:
         return ephid + struct.pack(">Q", nonce)
 
     def _maybe_rotate(self, now: float) -> None:
-        if now - self._rotated_at >= self.window:
+        if self._rotated_at is None:
+            self._rotated_at = now
+            return
+        elapsed = now - self._rotated_at
+        if elapsed < self.window:
+            return
+        if elapsed >= 2 * self.window:
+            # Idle gap spanning both generations: every remembered entry
+            # is older than one window (inserts after the last rotation
+            # would themselves have rotated), so both generations are
+            # past the documented replay horizon.  A single swap here
+            # would leave arbitrarily old nonces in the previous
+            # generation and wrongly drop fresh traffic as replays.
+            self._current.clear()
+            self._previous.clear()
+        else:
             self._previous, self._current = self._current, self._previous
             self._current.clear()
-            self._rotated_at = now
-            self.rotations += 1
+        self._rotated_at = now
+        self.rotations += 1
 
     def observe(self, ephid: bytes, nonce: int, now: float) -> bool:
         """Record one packet.  True = fresh (forward), False = replay (drop)."""

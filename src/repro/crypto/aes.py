@@ -135,6 +135,28 @@ class AES:
         """Encrypt one 16-byte block."""
         return self._impl.encrypt_block(block)
 
+    def encrypt_blocks(self, data: bytes) -> bytes:
+        """ECB-encrypt a concatenation of independent 16-byte blocks.
+
+        Backends with a native bulk path (OpenSSL) run the whole buffer
+        in one call; otherwise this falls back to a per-block loop.  Used
+        by :meth:`repro.core.ephid.EphIdCodec.open_batch` to amortise a
+        burst of EphID opens.
+        """
+        if len(data) % BLOCK_SIZE:
+            raise ValueError(
+                f"data must be a multiple of {BLOCK_SIZE} bytes, got {len(data)}"
+            )
+        impl = self._impl
+        native = getattr(impl, "encrypt_blocks", None)
+        if native is not None:
+            return native(data)
+        encrypt = impl.encrypt_block
+        return b"".join(
+            encrypt(data[i : i + BLOCK_SIZE])
+            for i in range(0, len(data), BLOCK_SIZE)
+        )
+
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt one 16-byte block."""
         return self._impl.decrypt_block(block)

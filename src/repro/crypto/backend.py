@@ -118,6 +118,20 @@ class _OpenSSLAes:
             raise ValueError(f"block must be 16 bytes, got {len(block)}")
         return self._ecb_enc.update(block)
 
+    def encrypt_blocks(self, data: bytes) -> bytes:
+        """ECB-encrypt a concatenation of independent 16-byte blocks.
+
+        One EVP update covers the whole buffer — this is the bulk entry
+        point the border router's batched verdict loop uses to open a
+        burst's worth of EphIDs (their CTR keystream and CBC-MAC inputs
+        are one block each) in two OpenSSL calls total.
+        """
+        if len(data) % 16:
+            raise ValueError(
+                f"data must be a multiple of 16 bytes, got {len(data)}"
+            )
+        return self._ecb_enc.update(data)
+
     def decrypt_block(self, block: bytes) -> bytes:
         if len(block) != 16:
             raise ValueError(f"block must be 16 bytes, got {len(block)}")
@@ -168,6 +182,23 @@ class _OpenSSLCmac:
         ctx = self._base.copy()
         ctx.update(message)
         return ctx.finalize()[:length]
+
+    def tag_many(self, messages, length: int = 16) -> list[bytes]:
+        """Tag a burst of messages off the shared key schedule.
+
+        Each message still needs its own CMAC finalization, but the base
+        context is copied locally and the loop stays inside one call, so
+        a border-router burst pays the facade dispatch once.
+        """
+        if not 1 <= length <= 16:
+            raise ValueError("tag length must be between 1 and 16 bytes")
+        copy = self._base.copy
+        out = []
+        for message in messages:
+            ctx = copy()
+            ctx.update(message)
+            out.append(ctx.finalize()[:length])
+        return out
 
 
 class _OpenSSLGcm:

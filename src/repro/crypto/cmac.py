@@ -46,6 +46,22 @@ class Cmac:
             raise ValueError("tag length must be between 1 and 16 bytes")
         return self._impl.tag(message, length)
 
+    def tag_many(self, messages, length: int = BLOCK_SIZE) -> list[bytes]:
+        """Tag a burst of messages under the shared key schedule.
+
+        Backends with a native bulk path (OpenSSL) keep the loop inside
+        one call; the result is element-for-element identical to calling
+        :meth:`tag` on each message.
+        """
+        if not 1 <= length <= BLOCK_SIZE:
+            raise ValueError("tag length must be between 1 and 16 bytes")
+        impl = self._impl
+        native = getattr(impl, "tag_many", None)
+        if native is not None:
+            return native(messages, length)
+        tag = impl.tag
+        return [tag(message, length) for message in messages]
+
     def verify(self, message: bytes, tag: bytes) -> bool:
         """Verify a (possibly truncated) tag in constant time."""
         return ct_eq(self.tag(message, len(tag)), tag)

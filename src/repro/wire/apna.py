@@ -36,6 +36,11 @@ HEADER_SIZE_WITH_NONCE = HEADER_SIZE + NONCE_SIZE
 _MAX_AID = 2**32 - 1
 _MAX_NONCE = 2**64 - 1
 
+#: Wire layout of the fixed Fig. 7 header; the optional nonce extension
+#: is a ``>Q`` suffix.  Shared by pack/parse/mac_input so the MAC is
+#: always computed over exactly the bytes the wire carries.
+_HEADER_FMT = f">I{EPHID_SIZE}s{EPHID_SIZE}sI{MAC_SIZE}s"
+
 
 @dataclass(frozen=True)
 class ApnaHeader:
@@ -75,7 +80,7 @@ class ApnaHeader:
     def pack(self) -> bytes:
         """Serialize the header."""
         head = struct.pack(
-            f">I{EPHID_SIZE}s{EPHID_SIZE}sI{MAC_SIZE}s",
+            _HEADER_FMT,
             self.src_aid,
             self.src_ephid,
             self.dst_ephid,
@@ -100,7 +105,7 @@ class ApnaHeader:
                 f"APNA header needs {expected} bytes, got {len(data)}"
             )
         src_aid, src_ephid, dst_ephid, dst_aid, mac = struct.unpack_from(
-            f">I{EPHID_SIZE}s{EPHID_SIZE}sI{MAC_SIZE}s", data
+            _HEADER_FMT, data
         )
         nonce = None
         if with_nonce:
@@ -109,8 +114,17 @@ class ApnaHeader:
 
     def mac_input(self, payload: bytes) -> bytes:
         """Bytes the per-packet MAC is computed over (header w/ zero MAC + payload)."""
-        zeroed = replace(self, mac=bytes(MAC_SIZE))
-        return zeroed.pack() + payload
+        head = struct.pack(
+            _HEADER_FMT,
+            self.src_aid,
+            self.src_ephid,
+            self.dst_ephid,
+            self.dst_aid,
+            bytes(MAC_SIZE),
+        )
+        if self.nonce is not None:
+            head += struct.pack(">Q", self.nonce)
+        return head + payload
 
     def with_mac(self, mac: bytes) -> "ApnaHeader":
         return replace(self, mac=mac)

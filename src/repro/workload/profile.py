@@ -91,6 +91,12 @@ class TrafficProfile:
     max_flows: int | None = 1_000
     #: Virtual seconds the trace's time axis is compressed into.
     window: float = 2.0
+    #: Flow arrivals are grouped into bursts of this many and launched at
+    #: the group's first arrival instant, so border routers with
+    #: ``forwarding_batch_size > 1`` actually see burst-sized packet
+    #: trains (the paper's §V-B data plane regime).  1 = one event per
+    #: flow at its own trace instant.
+    burst: int = 1
     payload: bytes = b"GET / HTTP/1.1"
     #: Echo a response for each delivered request.
     respond: bool = True
@@ -106,6 +112,8 @@ class TrafficProfile:
             raise ValueError("a traffic profile needs >=1 client and >=1 server")
         if self.window <= 0:
             raise ValueError("window must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be at least 1")
 
         client_ases = [
             world.asys(ref)
@@ -179,10 +187,10 @@ class TrafficProfile:
             opened["count"] += 1
 
         scheduler = world.network.scheduler
-        for index in range(n):
-            scheduler.schedule_at(
-                scheduler.now + float(starts[index]) * scale, _launch, index
-            )
+        for group_start in range(0, n, self.burst):
+            when = scheduler.now + float(starts[group_start]) * scale
+            for index in range(group_start, min(group_start + self.burst, n)):
+                scheduler.schedule_at(when, _launch, index)
         events = world.run()
 
         return TrafficReport(

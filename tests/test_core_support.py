@@ -81,6 +81,56 @@ class TestHostDatabase:
         db.revoke_hid(hid)
         assert db.find_by_subscriber(77) is None
 
+    def test_find_by_subscriber_after_rebootstrap(self):
+        # The registry revokes the old HID and registers a fresh one when
+        # a subscriber re-bootstraps; the index must follow the new HID.
+        db = HostDatabase()
+        old = db.allocate_hid()
+        db.register(HostRecord(hid=old, keys=make_keys(), subscriber_id=77))
+        db.revoke_hid(old)
+        new = db.allocate_hid()
+        db.register(HostRecord(hid=new, keys=make_keys(2), subscriber_id=77))
+        assert db.find_by_subscriber(77).hid == new
+
+    def test_second_live_record_for_subscriber_rejected(self):
+        # The index relies on the one-live-HID-per-host invariant; a
+        # second live registration must be refused, not silently shadow
+        # the first (the registry revokes the old HID before re-enrolling).
+        db = HostDatabase()
+        first = db.allocate_hid()
+        db.register(HostRecord(hid=first, keys=make_keys(), subscriber_id=9))
+        second = db.allocate_hid()
+        with pytest.raises(UnknownHostError, match="already has live"):
+            db.register(
+                HostRecord(hid=second, keys=make_keys(2), subscriber_id=9)
+            )
+        assert db.find_by_subscriber(9).hid == first
+        assert second not in db  # the rejected record was not registered
+
+    def test_find_by_subscriber_heals_after_direct_mutation(self):
+        # Flipping record.revoked without going through revoke_hid must
+        # not let the index return a revoked record.
+        db = HostDatabase()
+        hid = db.allocate_hid()
+        db.register(HostRecord(hid=hid, keys=make_keys(), subscriber_id=5))
+        db.get(hid).revoked = True
+        assert db.find_by_subscriber(5) is None
+        assert db.find_by_subscriber(5) is None  # idempotent after healing
+
+    def test_find_by_subscriber_is_indexed(self):
+        # The lookup must not scan: register many, then check the index
+        # content directly.
+        db = HostDatabase()
+        for sub in range(100):
+            hid = db.allocate_hid()
+            db.register(
+                HostRecord(hid=hid, keys=make_keys(sub), subscriber_id=sub)
+            )
+        assert len(db._by_subscriber) == 100
+        assert db.find_by_subscriber(42).subscriber_id == 42
+        db.revoke_hid(db.find_by_subscriber(42).hid)
+        assert 42 not in db._by_subscriber
+
 
 class TestRevocationList:
     def test_add_contains(self):

@@ -107,6 +107,43 @@ class TestRotatingReplayFilter:
         filt.observe(b"\x02" * 16, 2, now=10.5)  # forces first rotation
         assert filt.observe(b"\x01" * 16, 1, now=21.0)  # second rotation
 
+    def test_idle_gap_forgets_beyond_horizon(self):
+        # Regression: a single rotation per observe() used to leave the
+        # pre-gap generation populated after an idle gap >= 2 windows, so
+        # a fresh nonce far beyond the documented two-window horizon was
+        # wrongly dropped as a replay.
+        filt = RotatingReplayFilter(window=10.0, bits_per_generation=1 << 12)
+        assert filt.observe(b"\x01" * 16, 1, now=5.0)
+        # 35 s of silence — the nonce is more than two windows old and
+        # must have been forgotten, exactly like the steady-traffic case
+        # in test_forgotten_after_two_rotations.
+        assert filt.observe(b"\x01" * 16, 1, now=40.0)
+
+    def test_idle_gap_clears_both_generations(self):
+        filt = RotatingReplayFilter(window=10.0, bits_per_generation=1 << 12)
+        filt.observe(b"\x01" * 16, 1, now=0.0)
+        filt.observe(b"\x02" * 16, 2, now=10.5)  # 1 -> previous, 2 -> current
+        # A jumped clock (NTP step, VM resume): both generations are now
+        # beyond the horizon and neither nonce may be remembered.
+        assert filt.observe(b"\x01" * 16, 1, now=1e9)
+        assert filt.observe(b"\x02" * 16, 2, now=1e9)
+
+    def test_short_idle_gap_keeps_previous_generation(self):
+        # A gap in [window, 2*window) rotates once: the last generation's
+        # entries are still inside the horizon and must be remembered.
+        filt = RotatingReplayFilter(window=10.0, bits_per_generation=1 << 12)
+        filt.observe(b"\x01" * 16, 1, now=0.0)
+        assert not filt.observe(b"\x01" * 16, 1, now=19.9)
+
+    def test_first_packet_on_wall_clock_is_not_a_rotation(self):
+        # Deployments feed wall-clock time; the first packet used to look
+        # like a giant gap from the initial _rotated_at = 0.0 and counted
+        # a bogus rotation.
+        filt = RotatingReplayFilter(window=10.0, bits_per_generation=1 << 12)
+        assert filt.observe(b"\x01" * 16, 1, now=1.7e9)
+        assert filt.rotations == 0
+        assert not filt.observe(b"\x01" * 16, 1, now=1.7e9 + 1.0)
+
     def test_memory_accounting(self):
         filt = RotatingReplayFilter(window=1.0, bits_per_generation=1 << 13)
         assert filt.memory_bytes == 2 * (1 << 13) // 8
