@@ -219,6 +219,56 @@ def test_apna_ingress_burst64(benchmark, burst_world, mode):
     benchmark.extra_info["burst_size"] = BURST_SIZE
 
 
+@pytest.fixture(scope="module", params=crypto_backend.available_backends())
+def sharded_burst_world(request):
+    """A 2-shard world (IV-pinned issuance, live worker pool) plus the
+    same 64-packet burst the scalar/batch arms use."""
+    from repro.core.config import ApnaConfig
+
+    with crypto_backend.use_backend(request.param):
+        world = build_bench_world(
+            seed=4321,
+            hosts_per_as=2,
+            config=ApnaConfig(forwarding_shards=2, forwarding_batch_size=BURST_SIZE),
+        )
+        as_a = world.asys("a")
+        frames = build_apna_pool(
+            as_a, world.hosts_a, size=512, count=BURST_SIZE, dst_aid=200
+        ).wire_frames
+        # Warm the workers' per-host CMAC caches inside the context.
+        for verdict in as_a.shard_pool.process(
+            frames, [True] * len(frames), as_a.clock()
+        ):
+            assert verdict.action is Action.FORWARD_INTER
+    yield request.param, world, frames
+    world.close()
+
+
+def test_apna_egress_burst64_sharded2(benchmark, sharded_burst_world):
+    """The third row of the burst table: the same 64-packet burst,
+    synchronously through the 2-shard worker pool (one IPC round-trip
+    per shard per burst, no pipelining — the per-burst latency view;
+    ``bench_sharding`` measures the pipelined throughput curve)."""
+    name, world, frames = sharded_burst_world
+    as_a = world.asys("a")
+    plane = as_a.shard_pool
+    now = as_a.clock()
+    egress = [True] * len(frames)
+
+    def run_burst():
+        verdicts = plane.process(frames, egress, now)
+        assert verdicts[-1].action is Action.FORWARD_INTER
+
+    benchmark(run_burst)
+    benchmark.extra_info["crypto_backend"] = name
+    benchmark.extra_info["mode"] = "sharded2"
+    benchmark.extra_info["burst_size"] = BURST_SIZE
+    benchmark.extra_info["packet_size"] = 512
+    benchmark.extra_info["paper_result"] = (
+        "share-nothing worker processes extend the burst loop (§V-A3)"
+    )
+
+
 def test_transit_forwarding(benchmark, bench_world, pools):
     """Transit ASes forward by AID only — no crypto (Section IV-D3)."""
     br = bench_world.as_b.br  # not the destination for dst_aid=65000 packets

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Diff two ``pytest benchmarks --bench-json`` snapshots.
+
+Usage::
+
+    python benchmarks/compare_snapshots.py OLD.json NEW.json [--threshold 0.25]
+
+Benchmarks are matched by nodeid; for each pair with timing data the
+mean-time ratio ``new / old`` is printed, and anything slower than
+``1 + threshold`` (default: a 25% regression) is flagged.  Exits 1 if
+any regression was flagged, so the script can gate a review:
+
+    python benchmarks/compare_snapshots.py \
+        benchmarks/snapshots/BENCH_pr5.json /tmp/BENCH_now.json
+
+Snapshots taken in ``--smoke`` mode carry no timings and compare as
+"no data"; the per-PR snapshots under ``benchmarks/snapshots/`` are
+full timed runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if "benchmarks" not in payload:
+        raise SystemExit(f"{path}: not a --bench-json snapshot (no 'benchmarks' key)")
+    return payload
+
+
+def index_timings(payload: dict) -> "dict[str, float]":
+    means = {}
+    for record in payload["benchmarks"]:
+        timing = record.get("timing")
+        if timing and timing.get("mean_s"):
+            means[record["name"]] = timing["mean_s"]
+    return means
+
+
+def compare(old: dict, new: dict, threshold: float):
+    """Yield (name, old_mean, new_mean, ratio, flag) rows, sorted by
+    descending ratio so regressions lead."""
+    old_means = index_timings(old)
+    new_means = index_timings(new)
+    rows = []
+    for name in sorted(old_means.keys() & new_means.keys()):
+        ratio = new_means[name] / old_means[name]
+        if ratio > 1.0 + threshold:
+            flag = "REGRESSION"
+        elif ratio < 1.0 - threshold:
+            flag = "improved"
+        else:
+            flag = ""
+        rows.append((name, old_means[name], new_means[name], ratio, flag))
+    rows.sort(key=lambda row: row[3], reverse=True)
+    return rows, sorted(old_means.keys() - new_means.keys()), sorted(
+        new_means.keys() - old_means.keys()
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two --bench-json snapshots and flag regressions."
+    )
+    parser.add_argument("old", help="baseline snapshot (e.g. the last PR's)")
+    parser.add_argument("new", help="candidate snapshot")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative slowdown that counts as a regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    old, new = load(args.old), load(args.new)
+    for label, payload, path in (("old", old, args.old), ("new", new, args.new)):
+        backend = payload.get("default_crypto_backend", "?")
+        mode = "smoke (no timings)" if payload.get("smoke") else "timed"
+        print(f"{label}: {Path(path).name}  backend={backend}  {mode}")
+    print()
+
+    rows, removed, added = compare(old, new, args.threshold)
+    if not rows:
+        print("no benchmarks with timings in common — nothing to compare")
+        return 0
+
+    width = max(len(name) for name, *_ in rows)
+    print(f"{'benchmark':<{width}}  {'old':>10}  {'new':>10}  {'ratio':>7}")
+    for name, old_mean, new_mean, ratio, flag in rows:
+        print(
+            f"{name:<{width}}  {old_mean * 1e6:>9.1f}u  {new_mean * 1e6:>9.1f}u  "
+            f"{ratio:>6.2f}x  {flag}"
+        )
+    for name in removed:
+        print(f"(removed) {name}")
+    for name in added:
+        print(f"(new)     {name}")
+
+    regressions = [row for row in rows if row[4] == "REGRESSION"]
+    print()
+    print(
+        f"{len(rows)} compared, {len(regressions)} regression(s) over "
+        f"{args.threshold:.0%}, {len(added)} new, {len(removed)} removed"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

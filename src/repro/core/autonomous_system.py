@@ -110,7 +110,20 @@ class ApnaAutonomousSystem:
         rpki.publish(anchor.certify(aid, self.keys))
 
         self.codec = EphIdCodec(self.keys.secret.ephid_enc, self.keys.secret.ephid_mac)
-        self.ivs = IvAllocator(self.rng)
+        #: HID -> shard ownership for the sharded data plane.  Fixed at
+        #: construction (before any EphID is sealed) so every IV the AS
+        #: ever issues is pinned to its owner shard; ``None`` for the
+        #: single-process deployment.
+        self.shard_plan = None
+        if config.forwarding_shards >= 2:
+            from ..sharding.plan import ShardPlan
+
+            self.shard_plan = ShardPlan(
+                config.forwarding_shards, block=config.shard_block
+            )
+        #: The live worker pool (see :meth:`start_shard_pool`).
+        self.shard_pool = None
+        self.ivs = IvAllocator(self.rng, plan=self.shard_plan)
         self.hostdb = HostDatabase()
         self.revocations = RevocationList()
         self.bus = InfraBus(self.keys.secret)
@@ -184,7 +197,7 @@ class ApnaAutonomousSystem:
         self.hostdb.register(HostRecord(hid=hid, keys=keys))
         keypair = EphIdKeyPair.generate(self.rng)
         exp_time = int(self.clock() + SERVICE_EPHID_LIFETIME)
-        ephid = self.codec.seal(hid=hid, exp_time=exp_time, iv=self.ivs.next_iv())
+        ephid = self.codec.seal(hid=hid, exp_time=exp_time, iv=self.ivs.next_iv_for(hid))
         cert = EphIdCertificate.issue(
             self.keys.signing,
             ephid=ephid,
@@ -213,6 +226,82 @@ class ApnaAutonomousSystem:
     ) -> None:
         """Peer two ASes (an inter-domain link)."""
         self.network.connect(self.node, other.node, latency=latency, bandwidth=bandwidth)
+
+    # -- sharded data plane (paper §V-A3; see repro.sharding) --
+
+    def start_shard_pool(self):
+        """Spawn the persistent worker shards and route the data plane
+        through them.
+
+        Snapshot-then-subscribe: the pool is seeded with the current
+        hostdb/revocation state, and the database hooks keep the worker
+        replicas in sync from then on — a revoke pushed over the infra
+        bus reaches every shard before the next burst is dispatched.
+
+        Intended at world-build time (before data traffic), which is
+        when :meth:`repro.topology.World.from_spec` calls it.  Replay-
+        filter history does *not* cross the transition: Bloom membership
+        cannot be re-keyed into per-shard filters, so the workers start
+        with empty filters and packets seen by the in-line router could
+        replay once.  A mid-traffic switch therefore warns.
+        """
+        if self.shard_plan is None:
+            raise ApnaError(
+                "AS was built without sharding; set "
+                "ApnaConfig.forwarding_shards >= 2"
+            )
+        if self.shard_pool is not None:
+            return self.shard_pool
+        inline_filter = self.br.replay_filter
+        if inline_filter is not None and (
+            inline_filter.passed or inline_filter.replays
+        ):
+            self._warn_replay_history_lost("start_shard_pool")
+        from ..sharding.pool import ShardedDataPlane
+
+        pool = ShardedDataPlane.for_assembly(self, self.shard_plan.nshards)
+        self.shard_pool = pool
+        self.revocations.on_add = pool.revoke_ephid
+        self.hostdb.on_register = pool.register_host
+        self.hostdb.on_revoke_hid = pool.revoke_hid
+        return pool
+
+    def stop_shard_pool(self, *, final: bool = False) -> None:
+        """Tear the worker pool down and fall back to the in-line router.
+
+        A teardown path, not a live migration: the shards' replay-filter
+        history and verdict counters die with the worker processes, so
+        switching back mid-traffic reopens the replay window exactly as
+        :meth:`start_shard_pool` does — hence the same warning.  Pass
+        ``final=True`` (as ``World.close`` does) when the world is done
+        and no further traffic exists to protect.
+        """
+        pool, self.shard_pool = self.shard_pool, None
+        if pool is None:
+            return
+        self.revocations.on_add = None
+        self.hostdb.on_register = None
+        self.hostdb.on_revoke_hid = None
+        if not final and self.config.in_network_replay_filter and not pool.closed:
+            try:
+                stats = pool.stats()
+            except Exception:
+                stats = {}
+            if stats.get("replay_passed", 0) or stats.get("replay_replays", 0):
+                self._warn_replay_history_lost("stop_shard_pool")
+        pool.close()
+
+    def _warn_replay_history_lost(self, transition: str) -> None:
+        """The caller saw replay-filter traffic before a plane transition."""
+        import warnings
+
+        warnings.warn(
+            f"{transition} with in-network replay filtering mid-traffic: "
+            "filter history does not cross the transition, so packets "
+            "already seen could replay once",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def attach_host(
         self,
@@ -331,14 +420,23 @@ class BorderRouterNode(Node):
     whichever comes first), and the verdicts are acted on in arrival
     order.  The flush timer guarantees a partially-filled burst always
     drains when the event queue is run.
+
+    When the assembly has a live shard pool (``config.forwarding_shards
+    >= 2`` + :meth:`ApnaAutonomousSystem.start_shard_pool`), every data
+    packet's verdict comes from the pool instead of the in-line router —
+    the accumulated burst is dispatched as packed wire frames, one IPC
+    message per shard, and the merged verdicts are acted on in arrival
+    order.  The in-line ``assembly.br`` is bypassed entirely for data
+    traffic so router state cannot diverge from the shards'.
     """
 
     def __init__(self, assembly: ApnaAutonomousSystem) -> None:
         super().__init__(f"AS{assembly.aid}")
         self.assembly = assembly
         self.icmp_sent = 0
-        #: Pending (packet, arrived_from_outside) pairs awaiting a burst.
-        self._burst: list[tuple[ApnaPacket, bool]] = []
+        #: Pending (packet, arrived_from_outside, wire_frame) triples
+        #: awaiting a burst.
+        self._burst: list[tuple[ApnaPacket, bool, bytes]] = []
         self._burst_timer = None
         self.bursts_flushed = 0
         self.largest_burst = 0
@@ -349,26 +447,24 @@ class BorderRouterNode(Node):
         assembly = self.assembly
         if from_node in assembly._host_node_names:
             # Raw APNA bytes from a local host: the egress pipeline.
-            packet = ApnaPacket.from_wire(
-                frame_bytes, with_nonce=assembly.config.replay_protection
-            )
+            apna_bytes = frame_bytes
             arrived_from_outside = False
         else:
             # GRE/IPv4 encapsulated bytes from a neighbor AS.
             _, apna_bytes = gre.decapsulate(frame_bytes)
-            packet = ApnaPacket.from_wire(
-                apna_bytes, with_nonce=assembly.config.replay_protection
-            )
             arrived_from_outside = True
+        packet = ApnaPacket.from_wire(
+            apna_bytes, with_nonce=assembly.config.replay_protection
+        )
         batch_size = assembly.config.forwarding_batch_size
-        if batch_size <= 1:
+        if batch_size <= 1 and assembly.shard_pool is None:
             if arrived_from_outside:
                 verdict = assembly.br.process_incoming(packet)
             else:
                 verdict = assembly.br.process_outgoing(packet)
             self._act(packet, verdict, arrived_from_outside=arrived_from_outside)
             return
-        self._burst.append((packet, arrived_from_outside))
+        self._burst.append((packet, arrived_from_outside, apna_bytes))
         if len(self._burst) >= batch_size:
             self._flush_burst()
         elif self._burst_timer is None:
@@ -386,17 +482,19 @@ class BorderRouterNode(Node):
             return
         self.bursts_flushed += 1
         self.largest_burst = max(self.largest_burst, len(burst))
-        br = self.assembly.br
-        egress = [i for i, (_, outside) in enumerate(burst) if not outside]
-        ingress = [i for i, (_, outside) in enumerate(burst) if outside]
-        verdicts: list[Verdict | None] = [None] * len(burst)
-        for indexes, process in (
-            (egress, br.process_batch),
-            (ingress, br.process_incoming_batch),
-        ):
-            for i, verdict in zip(indexes, process([burst[i][0] for i in indexes])):
-                verdicts[i] = verdict
-        for (packet, outside), verdict in zip(burst, verdicts):
+        pool = self.assembly.shard_pool
+        if pool is not None:
+            verdicts = pool.process(
+                [frame for _, _, frame in burst],
+                [not outside for _, outside, _ in burst],
+                self.assembly.clock(),
+            )
+        else:
+            verdicts = self.assembly.br.process_mixed_batch(
+                [packet for packet, _, _ in burst],
+                [not outside for _, outside, _ in burst],
+            )
+        for (packet, outside, _), verdict in zip(burst, verdicts):
             assert verdict is not None
             self._act(packet, verdict, arrived_from_outside=outside)
 

@@ -103,6 +103,21 @@ class Verdict:
         return self.action is Action.DROP
 
 
+class InterVerdicts(dict):
+    """Interned FORWARD_INTER verdicts keyed by destination AID.
+
+    Verdicts are frozen value objects, so bursts reuse one instance per
+    destination instead of constructing thousands of equal dataclasses.
+    Shared by the in-process router and the shard dispatcher's transit
+    short-circuit (:mod:`repro.sharding.pool`).
+    """
+
+    def __missing__(self, dst_aid: int) -> Verdict:
+        verdict = Verdict(Action.FORWARD_INTER, next_aid=dst_aid)
+        self[dst_aid] = verdict
+        return verdict
+
+
 class BorderRouter:
     """One AS's border router."""
 
@@ -131,10 +146,7 @@ class BorderRouter:
         self.drops: dict[DropReason, int] = {reason: 0 for reason in DropReason}
         self.forwarded_inter = 0
         self.forwarded_intra = 0
-        # Verdicts are frozen value objects, so bursts reuse one instance
-        # per (action, destination) instead of constructing thousands of
-        # equal dataclasses.
-        self._inter_verdicts: dict[int, Verdict] = {}
+        self._inter_verdicts = InterVerdicts()
 
     def _drop(self, reason: DropReason) -> Verdict:
         self.drops[reason] += 1
@@ -266,7 +278,7 @@ class BorderRouter:
                 deliver.append(i)
             else:
                 self.forwarded_inter += 1
-                verdicts[i] = self._forward_inter_verdict(header.dst_aid)
+                verdicts[i] = self._inter_verdicts[header.dst_aid]
         self._deliver_local_batch(packets, deliver, verdicts, now)
         return verdicts  # type: ignore[return-value]  # every slot is filled
 
@@ -280,7 +292,7 @@ class BorderRouter:
         for i, packet in enumerate(packets):
             if packet.header.dst_aid != self.aid:
                 self.forwarded_inter += 1
-                verdicts[i] = self._forward_inter_verdict(packet.header.dst_aid)
+                verdicts[i] = self._inter_verdicts[packet.header.dst_aid]
             else:
                 local.append(i)
         if local:
@@ -295,12 +307,30 @@ class BorderRouter:
             self._deliver_local_batch(packets, deliver, verdicts, now)
         return verdicts  # type: ignore[return-value]  # every slot is filled
 
-    def _forward_inter_verdict(self, dst_aid: int) -> Verdict:
-        verdict = self._inter_verdicts.get(dst_aid)
-        if verdict is None:
-            verdict = Verdict(Action.FORWARD_INTER, next_aid=dst_aid)
-            self._inter_verdicts[dst_aid] = verdict
-        return verdict
+    def process_mixed_batch(
+        self, packets: "list[ApnaPacket]", egress: "list[bool]"
+    ) -> "list[Verdict]":
+        """A burst of mixed directions: the egress subset through
+        :meth:`process_batch`, the ingress subset through
+        :meth:`process_incoming_batch`, verdicts merged back
+        positionally.
+
+        This is *the* drain loop of a burst-accumulating router node —
+        shared by :class:`~repro.core.autonomous_system.BorderRouterNode`
+        and the shard worker (:mod:`repro.sharding.worker`), so the
+        sharded plane's equivalence with the in-process plane is
+        structural rather than re-implemented.
+        """
+        verdicts: "list[Verdict | None]" = [None] * len(packets)
+        egress_idx = [i for i, out in enumerate(egress) if out]
+        ingress_idx = [i for i, out in enumerate(egress) if not out]
+        for indexes, process in (
+            (egress_idx, self.process_batch),
+            (ingress_idx, self.process_incoming_batch),
+        ):
+            for i, verdict in zip(indexes, process([packets[i] for i in indexes])):
+                verdicts[i] = verdict
+        return verdicts  # type: ignore[return-value]  # every slot is filled
 
     def _open_many(self, ephids: "list[bytes]") -> dict:
         """Open the distinct EphIDs of a burst in one batched call.

@@ -60,6 +60,20 @@ class ApnaConfig:
     #: this is the latency cost of batching.
     forwarding_batch_window: float = 0.0002
 
+    #: Number of persistent worker processes the border-router data plane
+    #: is sharded over (the paper's §V-A3 share-nothing scale-out; see
+    #: :mod:`repro.sharding`).  ``0``/``1`` keeps the single-process
+    #: in-line pipeline.  Values >= 2 make EphID issuance pin each IV to
+    #: its HID's owning shard so the dispatcher can route packed frames
+    #: without decrypting, and make world builds spawn a
+    #: :class:`repro.sharding.ShardedDataPlane` per AS.
+    forwarding_shards: int = 0
+
+    #: Consecutive host HIDs per contiguous shard-ownership block
+    #: (``repro.sharding.ShardPlan.block``).  1 = round-robin over
+    #: registration order.
+    shard_block: int = 1
+
     #: Data-plane AEAD ("etm" or "gcm"); any CCA-secure scheme is allowed.
     aead_scheme: str = "etm"
 

@@ -169,18 +169,44 @@ class IvAllocator:
     vector for every encryption", Section V-A1).  A counter starting at a
     random offset guarantees uniqueness for up to 2^32 issuances; after
     that the AS must rotate kA.
+
+    Shard pinning
+    -------------
+
+    With a shard ``plan`` (any object exposing ``nshards`` and
+    ``owner_of(hid)``, normally a :class:`repro.sharding.plan.ShardPlan`)
+    the allocator additionally *pins* each IV's residue:
+    :meth:`next_iv_for` hands HID ``h`` an IV with ``iv % nshards ==
+    plan.owner_of(h)``, drawn from that residue class's own stride-N
+    counter.  The residue classes partition the IV space, so uniqueness
+    is preserved — and a sharded data plane's dispatcher can recover the
+    owning shard from the EphID's four clear IV bytes without touching
+    the AS secret (see :mod:`repro.sharding.plan`).
     """
 
-    __slots__ = ("_next", "_remaining")
+    __slots__ = ("_next", "_remaining", "_plan", "_streams", "_stream_remaining", "_pinned_issued")
 
-    def __init__(self, rng: Rng | None = None, *, start: int | None = None) -> None:
+    def __init__(
+        self,
+        rng: Rng | None = None,
+        *,
+        start: int | None = None,
+        plan=None,
+    ) -> None:
         if start is None:
             rng = rng or SystemRng()
             start = rng.randint(2**32)
         self._next = start % 2**32
         self._remaining = 2**32
+        self._plan = plan if plan is not None and plan.nshards > 1 else None
+        self._streams: dict[int, int] = {}
+        self._stream_remaining: dict[int, int] = {}
+        self._pinned_issued = 0
 
     def next_iv(self) -> int:
+        """An arbitrary fresh IV (pinned to shard 0 under a shard plan)."""
+        if self._plan is not None:
+            return self._pinned_next(0)
         if self._remaining == 0:
             raise EphIdError("IV space exhausted: rotate the AS secret kA")
         iv = self._next
@@ -188,6 +214,39 @@ class IvAllocator:
         self._remaining -= 1
         return iv
 
+    def next_iv_for(self, hid: int) -> int:
+        """A fresh IV for an EphID bound to ``hid``.
+
+        Without a shard plan this is plain :meth:`next_iv`; with one, the
+        IV's residue is pinned to ``hid``'s owning shard.
+        """
+        if self._plan is None:
+            return self.next_iv()
+        return self._pinned_next(self._plan.owner_of(hid))
+
+    def _pinned_next(self, residue: int) -> int:
+        n = self._plan.nshards
+        iv = self._streams.get(residue)
+        if iv is None:
+            # First draw from this class: smallest member >= the random
+            # start (wrapping to the bottom of the class if none).
+            iv = self._next + ((residue - self._next) % n)
+            if iv >= 2**32:
+                iv = residue
+            self._stream_remaining[residue] = (2**32 - 1 - residue) // n + 1
+        if self._stream_remaining[residue] == 0:
+            raise EphIdError(
+                f"IV space exhausted for shard residue {residue}: "
+                "rotate the AS secret kA"
+            )
+        nxt = iv + n
+        if nxt >= 2**32:
+            nxt = residue
+        self._streams[residue] = nxt
+        self._stream_remaining[residue] -= 1
+        self._pinned_issued += 1
+        return iv
+
     @property
     def issued(self) -> int:
-        return 2**32 - self._remaining
+        return 2**32 - self._remaining + self._pinned_issued

@@ -10,6 +10,7 @@ hash table keyed by HID, exactly as the paper's prototype does
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from .errors import RevokedError, UnknownHostError
 from .keys import HostAsKeys
@@ -44,6 +45,11 @@ class HostDatabase:
         #: scan over every record.
         self._by_subscriber: dict[int, int] = {}
         self._next_hid = FIRST_HOST_HID
+        #: Optional observers, called after a successful register /
+        #: revoke_hid — how a sharded data plane keeps its worker
+        #: processes' host views in sync (see :mod:`repro.sharding`).
+        self.on_register: Callable[[HostRecord], None] | None = None
+        self.on_revoke_hid: Callable[[int], None] | None = None
 
     def allocate_hid(self) -> int:
         """Assign a fresh, never-reused HID."""
@@ -69,6 +75,8 @@ class HostDatabase:
                 )
             self._by_subscriber[record.subscriber_id] = record.hid
         self._records[record.hid] = record
+        if self.on_register is not None:
+            self.on_register(record)
 
     def get(self, hid: int) -> HostRecord:
         """Look up a live host; raises for unknown or revoked HIDs."""
@@ -94,6 +102,8 @@ class HostDatabase:
             and self._by_subscriber.get(record.subscriber_id) == hid
         ):
             del self._by_subscriber[record.subscriber_id]
+        if self.on_revoke_hid is not None:
+            self.on_revoke_hid(hid)
 
     def find_by_subscriber(self, subscriber_id: int) -> HostRecord | None:
         """Current live HID for a subscriber, if any (one HID per host)."""
@@ -107,6 +117,10 @@ class HostDatabase:
             del self._by_subscriber[subscriber_id]
             return None
         return record
+
+    def records(self):
+        """Iterate every record, revoked included (for shard snapshots)."""
+        return iter(self._records.values())
 
     def __contains__(self, hid: int) -> bool:
         return self.is_valid(hid)

@@ -111,7 +111,7 @@ class ManagementService:
         """Generate an EphID + certificate for an already-validated host."""
         lifetime = self._config.clamp_lifetime(request.lifetime or None)
         exp_time = int(self._clock() + lifetime)
-        ephid = self._codec.seal(hid=hid, exp_time=exp_time, iv=self._ivs.next_iv())
+        ephid = self._codec.seal(hid=hid, exp_time=exp_time, iv=self._ivs.next_iv_for(hid))
         cert = EphIdCertificate.issue(
             self._keys.signing,
             ephid=ephid,

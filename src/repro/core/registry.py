@@ -114,7 +114,7 @@ class RegistryService:
 
         # Control EphID with its (long) lifetime.
         exp_time = int(self._clock() + self._config.control_ephid_lifetime)
-        ctrl_ephid = self._codec.seal(hid=hid, exp_time=exp_time, iv=self._ivs.next_iv())
+        ctrl_ephid = self._codec.seal(hid=hid, exp_time=exp_time, iv=self._ivs.next_iv_for(hid))
         id_info = IdInfo.issue(self._keys.signing, ctrl_ephid, exp_time)
 
         if self.ms_cert is None or self.dns_cert is None:

@@ -28,6 +28,10 @@ class RevocationList:
         self._expiry_heap: list[tuple[float, bytes]] = []
         self.auto_prune = auto_prune
         self.total_added = 0
+        #: Optional observer called with ``(ephid, exp_time)`` after each
+        #: *new* entry — how the sharded data plane replicates revokes to
+        #: its worker processes before their next burst.
+        self.on_add: Callable[[bytes, float], None] | None = None
 
     def add(self, ephid: bytes, exp_time: float) -> None:
         if ephid in self._revoked:
@@ -35,6 +39,8 @@ class RevocationList:
         self._revoked.add(ephid)
         heapq.heappush(self._expiry_heap, (exp_time, ephid))
         self.total_added += 1
+        if self.on_add is not None:
+            self.on_add(ephid, exp_time)
 
     def contains(self, ephid: bytes) -> bool:
         return ephid in self._revoked
@@ -52,6 +58,14 @@ class RevocationList:
 
     def maybe_prune(self, now: float) -> int:
         return self.prune(now) if self.auto_prune else 0
+
+    def snapshot(self) -> list[tuple[bytes, float]]:
+        """The live ``(ephid, exp_time)`` entries (for seeding replicas)."""
+        return [
+            (ephid, exp_time)
+            for exp_time, ephid in self._expiry_heap
+            if ephid in self._revoked
+        ]
 
     def __len__(self) -> int:
         return len(self._revoked)

@@ -15,10 +15,10 @@ per-flow demand of a trace with that many hosts.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 from dataclasses import dataclass
 
 from ..metrics import Timer, format_table, rate
+from ..sharding import run_issuance_shards, split_requests
 from ..workload import TraceConfig, TraceGenerator, analyze
 from .common import build_bench_world, print_header
 
@@ -67,24 +67,27 @@ def measure_issuance_rate(requests: int, *, seed: int = 7) -> float:
     return timer.elapsed
 
 
-def _worker(args: tuple[int, int]) -> float:
-    requests, seed = args
-    return measure_issuance_rate(requests, seed=seed)
-
-
 def measure_parallel_rate(requests: int, workers: int) -> float:
     """Share-nothing parallel issuance (the paper's 4-process setup).
 
-    Each worker runs an independent MS instance; the paper notes the
+    Each worker runs an independent MS instance on the shared
+    :mod:`repro.sharding` process machinery; the paper notes the
     generation "does not require any coordination between the processes".
-    Workers time only their issuance loops (setup excluded, as in the
-    sequential measurement); the effective duration for ``requests``
-    total is the slowest worker's loop.
+    The full request count is distributed exactly — a non-divisible load
+    spreads its remainder over the first workers rather than dropping it,
+    so a rate computed over ``requests`` is honest.  Workers time only
+    their issuance loops (setup excluded, as in the sequential
+    measurement); the effective duration for ``requests`` total is the
+    slowest worker's loop.
     """
-    per_worker = max(1, requests // workers)
-    with mp.get_context("fork").Pool(workers) as pool:
-        elapsed = pool.map(_worker, [(per_worker, 100 + i) for i in range(workers)])
-    return max(elapsed)
+    counts = split_requests(requests, workers)
+    results = run_issuance_shards(counts)
+    done = sum(count for count, _ in results)
+    if done != requests:
+        raise RuntimeError(
+            f"issuance shards performed {done} requests, expected {requests}"
+        )
+    return max(elapsed for _, elapsed in results)
 
 
 def run(

@@ -1,0 +1,71 @@
+"""HID-range shard ownership (the share-nothing split of paper §V-A3).
+
+The paper scales the MS across four processes with "no coordination
+between the processes"; this module fixes *which* process owns which
+host so the data plane can be split the same way.  A
+:class:`ShardPlan` maps every HID to exactly one shard:
+
+* service HIDs (below :data:`repro.core.hostdb.FIRST_HOST_HID`) always
+  belong to shard 0, and
+* host HIDs are striped over the shards in contiguous blocks of
+  ``block`` consecutive HIDs — ``block=1`` degenerates to round-robin
+  over registration order (host HIDs are allocated sequentially), while
+  a larger block gives each shard long contiguous HID runs, the layout
+  a range-partitioned ``host_info`` table would use.
+
+Routing without decrypting
+--------------------------
+
+An EphID hides its HID (that is the point of the construction), so a
+dispatcher cannot look at a packet and see which shard owns its source
+host.  What *is* in the clear is the EphID's IV (Fig. 6: the middle four
+bytes).  Because the AS issues every EphID itself, it can pin the IV at
+issuance time so that ``iv % nshards`` equals the owning shard
+(:meth:`repro.core.ephid.IvAllocator.next_iv_for`), and the dispatcher
+recovers the shard from four clear-text bytes with no crypto at all —
+the software analogue of NIC RSS steering.
+
+The residue leaks ``log2(nshards)`` bits of linkage (two EphIDs of one
+host share it); closing that side channel with a keyed shard mapping is
+a ROADMAP item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ephid import CIPHERTEXT_SIZE, IV_SIZE
+from ..core.hostdb import FIRST_HOST_HID
+
+#: EphID layout offsets (Fig. 6): ciphertext || IV || tag.
+_IV_OFFSET = CIPHERTEXT_SIZE
+_IV_END = CIPHERTEXT_SIZE + IV_SIZE
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The HID -> shard ownership function for one AS's data plane."""
+
+    nshards: int
+    #: Consecutive host HIDs per contiguous ownership block.
+    block: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nshards < 1:
+            raise ValueError(f"nshards must be >= 1, got {self.nshards}")
+        if self.block < 1:
+            raise ValueError(f"block must be >= 1, got {self.block}")
+
+    def owner_of(self, hid: int) -> int:
+        """The shard owning ``hid``'s record (MAC keys included)."""
+        if hid < FIRST_HOST_HID:
+            return 0  # service identities live on shard 0
+        return ((hid - FIRST_HOST_HID) // self.block) % self.nshards
+
+    def shard_of_iv(self, iv: int) -> int:
+        """The shard a pinned IV routes to (``iv % nshards``)."""
+        return iv % self.nshards
+
+    def shard_of_ephid(self, ephid: bytes) -> int:
+        """Read the routing shard straight out of an EphID's clear IV."""
+        return int.from_bytes(ephid[_IV_OFFSET:_IV_END], "big") % self.nshards

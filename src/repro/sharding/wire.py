@@ -1,0 +1,177 @@
+"""Binary IPC messages between the shard dispatcher and its workers.
+
+One burst = one message: the dispatcher ships packed APNA wire frames
+(never pickled objects) and gets back a packed verdict vector, so the
+per-packet IPC cost is a few bytes of framing amortised over the burst.
+Control traffic (revocations, host registration, stats) shares the same
+pipe, which is what guarantees ordering: a revoke written before a burst
+is processed by the worker before that burst's verdicts are computed.
+
+All integers are big-endian; every message starts with a one-byte kind.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..core.border_router import Action, DropReason, Verdict
+
+MSG_STOP = 0
+MSG_BURST = 1
+MSG_VERDICTS = 2
+MSG_REVOKE_EPHID = 3
+MSG_REVOKE_HID = 4
+MSG_REGISTER_HOST = 5
+MSG_STATS = 6
+MSG_STATS_REPLY = 7
+MSG_ERROR = 8
+
+#: Directions inside a burst message.
+EGRESS = 0
+INGRESS = 1
+
+_BURST_HEAD = struct.Struct(">BdH")  # kind, now, count
+_PACKET_HEAD = struct.Struct(">BI")  # direction, frame length
+_VERDICTS_HEAD = struct.Struct(">BH")  # kind, count
+#: action, reason, presence flags, hid, next_aid.  Presence is explicit
+#: (no in-band sentinel) because the full u32 range is legal for both
+#: AIDs and HIDs.
+_VERDICT = struct.Struct(">BBBII")
+_HAS_HID = 1
+_HAS_NEXT_AID = 2
+_REVOKE_EPHID = struct.Struct(">Bd16s")  # kind, exp_time, ephid
+_REVOKE_HID = struct.Struct(">BI")  # kind, hid
+_REGISTER_HOST = struct.Struct(">BIB16s16s")  # kind, hid, owned, control, mac
+
+_ACTIONS = tuple(Action)
+_ACTION_INDEX = {action: i for i, action in enumerate(_ACTIONS)}
+_REASONS = tuple(DropReason)
+_REASON_INDEX = {reason: i for i, reason in enumerate(_REASONS)}
+_NONE_U8 = 0xFF
+
+#: Per-shard counters carried by a stats reply, in wire order.
+STATS_FIELDS = tuple(reason.value for reason in _REASONS) + (
+    "forwarded_inter",
+    "forwarded_intra",
+    "replay_passed",
+    "replay_replays",
+    "replay_rotations",
+)
+_STATS_REPLY = struct.Struct(f">B{len(STATS_FIELDS)}Q")
+
+
+def encode_burst(now: float, frames: "list[bytes]", directions: "list[int]") -> bytes:
+    """Pack one burst: the shared clock read plus the raw wire frames."""
+    parts = [_BURST_HEAD.pack(MSG_BURST, now, len(frames))]
+    for frame, direction in zip(frames, directions):
+        parts.append(_PACKET_HEAD.pack(direction, len(frame)))
+        parts.append(frame)
+    return b"".join(parts)
+
+
+def decode_burst(msg: bytes) -> "tuple[float, list[bytes], list[int]]":
+    _, now, count = _BURST_HEAD.unpack_from(msg)
+    offset = _BURST_HEAD.size
+    frames: list[bytes] = []
+    directions: list[int] = []
+    for _ in range(count):
+        direction, length = _PACKET_HEAD.unpack_from(msg, offset)
+        offset += _PACKET_HEAD.size
+        frames.append(msg[offset : offset + length])
+        directions.append(direction)
+        offset += length
+    return now, frames, directions
+
+
+def encode_verdicts(verdicts: "list[Verdict]") -> bytes:
+    parts = [_VERDICTS_HEAD.pack(MSG_VERDICTS, len(verdicts))]
+    for verdict in verdicts:
+        flags = 0
+        if verdict.hid is not None:
+            flags |= _HAS_HID
+        if verdict.next_aid is not None:
+            flags |= _HAS_NEXT_AID
+        parts.append(
+            _VERDICT.pack(
+                _ACTION_INDEX[verdict.action],
+                _NONE_U8 if verdict.reason is None else _REASON_INDEX[verdict.reason],
+                flags,
+                verdict.hid or 0,
+                verdict.next_aid or 0,
+            )
+        )
+    return b"".join(parts)
+
+
+def decode_verdicts(msg: bytes) -> "list[Verdict]":
+    _, count = _VERDICTS_HEAD.unpack_from(msg)
+    offset = _VERDICTS_HEAD.size
+    verdicts: list[Verdict] = []
+    for _ in range(count):
+        action, reason, flags, hid, next_aid = _VERDICT.unpack_from(msg, offset)
+        offset += _VERDICT.size
+        verdicts.append(
+            Verdict(
+                _ACTIONS[action],
+                reason=None if reason == _NONE_U8 else _REASONS[reason],
+                hid=hid if flags & _HAS_HID else None,
+                next_aid=next_aid if flags & _HAS_NEXT_AID else None,
+            )
+        )
+    return verdicts
+
+
+def encode_revoke_ephid(ephid: bytes, exp_time: float) -> bytes:
+    return _REVOKE_EPHID.pack(MSG_REVOKE_EPHID, exp_time, ephid)
+
+
+def decode_revoke_ephid(msg: bytes) -> "tuple[bytes, float]":
+    _, exp_time, ephid = _REVOKE_EPHID.unpack(msg)
+    return ephid, exp_time
+
+
+def encode_revoke_hid(hid: int) -> bytes:
+    return _REVOKE_HID.pack(MSG_REVOKE_HID, hid)
+
+
+def decode_revoke_hid(msg: bytes) -> int:
+    _, hid = _REVOKE_HID.unpack(msg)
+    return hid
+
+
+def encode_register_host(
+    hid: int, *, owned: bool, control: bytes, packet_mac: bytes
+) -> bytes:
+    """Host announcement: keys travel only to the owning shard (``owned``);
+    every other shard learns just that the HID is live."""
+    return _REGISTER_HOST.pack(
+        MSG_REGISTER_HOST,
+        hid,
+        1 if owned else 0,
+        control if owned else bytes(16),
+        packet_mac if owned else bytes(16),
+    )
+
+
+def decode_register_host(msg: bytes) -> "tuple[int, bool, bytes, bytes]":
+    _, hid, owned, control, packet_mac = _REGISTER_HOST.unpack(msg)
+    return hid, bool(owned), control, packet_mac
+
+
+def encode_stats(counters: "dict[str, int]") -> bytes:
+    return _STATS_REPLY.pack(
+        MSG_STATS_REPLY, *(counters.get(field, 0) for field in STATS_FIELDS)
+    )
+
+
+def decode_stats(msg: bytes) -> "dict[str, int]":
+    values = _STATS_REPLY.unpack(msg)[1:]
+    return dict(zip(STATS_FIELDS, values))
+
+
+def encode_error(text: str) -> bytes:
+    return bytes([MSG_ERROR]) + text.encode("utf-8", "replace")
+
+
+def decode_error(msg: bytes) -> str:
+    return msg[1:].decode("utf-8", "replace")

@@ -1,0 +1,272 @@
+"""The data-plane worker process: one shard of the border router.
+
+Each worker rebuilds, from a compact :class:`ShardSpec`, a *real*
+:class:`~repro.core.border_router.BorderRouter` around process-local
+state — its slice of the host database (MAC keys only for owned HIDs), a
+replica of the revocation list and of the live-HID set, and its own
+rotating replay filter.  Reusing the single-process router verbatim is
+what makes the sharded plane's verdict-equivalence guarantee structural
+rather than re-implemented: a shard computes exactly the verdicts the
+in-process batch loop would, over the subset of packets routed to it.
+
+The split between *sharded* and *replicated* state follows what each
+check needs:
+
+* source-side checks (MAC verify, source HID validity) only ever run on
+  the shard that owns the source host, because the dispatcher routes by
+  the source EphID's pinned IV — so MAC keys are genuinely sharded;
+* destination-side checks (intra delivery, ingress local delivery) may
+  run on any shard, so the inputs they need — EphID codec keys, the
+  revocation set, the one-bit-per-HID liveness view — are replicated,
+  kept in sync by broadcast control messages on the same ordered pipe
+  as the bursts (a revoke therefore always lands before the next burst).
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+
+from ..core.border_router import BorderRouter
+from ..core.ephid import EphIdCodec
+from ..core.errors import RevokedError, UnknownHostError
+from ..core.keys import HostAsKeys
+from ..core.replay_filter import RotatingReplayFilter
+from ..core.revocation import RevocationList
+from ..wire.apna import ApnaPacket
+from . import wire
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to rebuild its slice of the data plane.
+
+    Pure bytes/ints/tuples so it crosses process boundaries under any
+    multiprocessing start method.
+    """
+
+    shard: int
+    nshards: int
+    aid: int
+    ephid_enc_key: bytes
+    ephid_mac_key: bytes
+    crypto_backend: "str | None"
+    packet_mac_size: int
+    with_nonce: bool
+    #: ``None`` disables the in-network replay filter.
+    replay_window: "float | None"
+    replay_bits: int
+    #: (hid, control_key, packet_mac_key, revoked) for owned HIDs.
+    owned_hosts: "tuple[tuple[int, bytes, bytes, bool], ...]"
+    #: Every live HID of the AS (owned or not) — the replicated validity view.
+    live_hids: "tuple[int, ...]"
+    #: (ephid, exp_time) replica of the AS revocation list.
+    revoked_ephids: "tuple[tuple[bytes, float], ...]"
+
+
+@dataclass
+class _OwnedRecord:
+    hid: int
+    keys: HostAsKeys
+    revoked: bool = False
+
+
+class ShardHostView:
+    """A shard's view of ``host_info``: owned keys + replicated liveness.
+
+    Duck-type compatible with the two :class:`~repro.core.hostdb.
+    HostDatabase` methods the border router uses — ``is_valid`` (answered
+    from the replicated live-HID set, so destination-side checks work for
+    hosts owned by other shards) and ``get`` (answered only for owned
+    HIDs; the router only fetches MAC keys for source hosts, which the
+    IV-pinned routing guarantees are local).
+    """
+
+    def __init__(self) -> None:
+        self._owned: dict[int, _OwnedRecord] = {}
+        self._live: set[int] = set()
+
+    def add_owned(
+        self, hid: int, control: bytes, packet_mac: bytes, *, revoked: bool = False
+    ) -> None:
+        self._owned[hid] = _OwnedRecord(
+            hid, HostAsKeys(control=control, packet_mac=packet_mac), revoked=revoked
+        )
+        if not revoked:
+            self._live.add(hid)
+
+    def set_live(self, hid: int) -> None:
+        self._live.add(hid)
+
+    def revoke(self, hid: int) -> None:
+        self._live.discard(hid)
+        record = self._owned.get(hid)
+        if record is not None:
+            record.revoked = True
+
+    def is_valid(self, hid: int) -> bool:
+        return hid in self._live
+
+    def get(self, hid: int) -> _OwnedRecord:
+        record = self._owned.get(hid)
+        if record is None:
+            raise UnknownHostError(
+                f"HID {hid} is not owned by this shard (misrouted packet?)"
+            )
+        if record.revoked:
+            raise RevokedError(f"HID {hid} is revoked")
+        return record
+
+    @property
+    def owned_count(self) -> int:
+        return len(self._owned)
+
+
+class _SettableClock:
+    """The worker router's clock: each burst message carries the
+    dispatcher's single clock read, so expiry/replay decisions are made
+    at the same instant the in-process batch loop would use."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class ShardState:
+    """Process-local state of one worker, built from its :class:`ShardSpec`."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        if spec.crypto_backend is not None:
+            from ..crypto import backend as crypto_backend
+
+            crypto_backend.set_backend(spec.crypto_backend)
+        self.spec = spec
+        self.clock = _SettableClock()
+        self.hosts = ShardHostView()
+        for hid, control, packet_mac, revoked in spec.owned_hosts:
+            self.hosts.add_owned(hid, control, packet_mac, revoked=revoked)
+        for hid in spec.live_hids:
+            self.hosts.set_live(hid)
+        self.revocations = RevocationList()
+        for ephid, exp_time in spec.revoked_ephids:
+            self.revocations.add(ephid, exp_time)
+        replay_filter = None
+        if spec.replay_window is not None:
+            replay_filter = RotatingReplayFilter(
+                window=spec.replay_window, bits_per_generation=spec.replay_bits
+            )
+        codec = EphIdCodec(spec.ephid_enc_key, spec.ephid_mac_key)
+        self.router = BorderRouter(
+            spec.aid,
+            codec,
+            self.hosts,  # type: ignore[arg-type]  # duck-typed HostDatabase
+            self.revocations,
+            self.clock,
+            packet_mac_size=spec.packet_mac_size,
+            replay_filter=replay_filter,
+        )
+
+    # -- message handlers --
+
+    def handle_burst(self, msg: bytes) -> bytes:
+        now, frames, directions = wire.decode_burst(msg)
+        self.clock.now = now
+        packets = [
+            ApnaPacket.from_wire(frame, with_nonce=self.spec.with_nonce)
+            for frame in frames
+        ]
+        # The same drain loop BorderRouterNode runs in-process — the
+        # structural half of the sharded plane's equivalence guarantee.
+        verdicts = self.router.process_mixed_batch(
+            packets, [d == wire.EGRESS for d in directions]
+        )
+        return wire.encode_verdicts(verdicts)
+
+    def handle_revoke_ephid(self, msg: bytes) -> None:
+        ephid, exp_time = wire.decode_revoke_ephid(msg)
+        self.revocations.add(ephid, exp_time)
+
+    def handle_revoke_hid(self, msg: bytes) -> None:
+        self.hosts.revoke(wire.decode_revoke_hid(msg))
+
+    def handle_register_host(self, msg: bytes) -> None:
+        hid, owned, control, packet_mac = wire.decode_register_host(msg)
+        if owned:
+            self.hosts.add_owned(hid, control, packet_mac)
+        else:
+            self.hosts.set_live(hid)
+
+    def stats(self) -> bytes:
+        router = self.router
+        counters = {reason.value: n for reason, n in router.drops.items()}
+        counters["forwarded_inter"] = router.forwarded_inter
+        counters["forwarded_intra"] = router.forwarded_intra
+        if router.replay_filter is not None:
+            counters["replay_passed"] = router.replay_filter.passed
+            counters["replay_replays"] = router.replay_filter.replays
+            counters["replay_rotations"] = router.replay_filter.rotations
+        return wire.encode_stats(counters)
+
+
+#: Message kinds the dispatcher expects exactly one reply to.  The
+#: invariant the loop below protects: a worker writes to the reply pipe
+#: *only* in response to these — an unsolicited frame would be consumed
+#: as the answer to some later request and desynchronise every reply
+#: after it.
+_REPLYING_KINDS = frozenset({wire.MSG_BURST, wire.MSG_STATS})
+
+
+def data_plane_worker(conn, spec: ShardSpec) -> None:
+    """Worker process main loop: build the shard, then serve the pipe.
+
+    Every request kind in ``_REPLYING_KINDS`` gets exactly one message
+    back (verdicts, stats, or an error frame the dispatcher re-raises).
+    Control messages are fire-and-forget; if one fails (or an unknown
+    kind arrives), the error is *held* and delivered in place of the
+    next expected reply rather than sent immediately — keeping the
+    reply stream aligned while still surfacing the failure loudly.
+    EOF or MSG_STOP ends the loop.
+    """
+    try:
+        state = ShardState(spec)
+    except Exception:
+        conn.send_bytes(wire.encode_error(traceback.format_exc()))
+        conn.close()
+        return
+    held_error: "str | None" = None
+    while True:
+        try:
+            msg = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        if not msg or msg[0] == wire.MSG_STOP:
+            break
+        kind = msg[0]
+        expects_reply = kind in _REPLYING_KINDS
+        if expects_reply and held_error is not None:
+            conn.send_bytes(wire.encode_error(held_error))
+            held_error = None
+            continue
+        try:
+            if kind == wire.MSG_BURST:
+                conn.send_bytes(state.handle_burst(msg))
+            elif kind == wire.MSG_REVOKE_EPHID:
+                state.handle_revoke_ephid(msg)
+            elif kind == wire.MSG_REVOKE_HID:
+                state.handle_revoke_hid(msg)
+            elif kind == wire.MSG_REGISTER_HOST:
+                state.handle_register_host(msg)
+            elif kind == wire.MSG_STATS:
+                conn.send_bytes(state.stats())
+            else:
+                held_error = f"unknown message kind {kind}"
+        except Exception:
+            if expects_reply:
+                conn.send_bytes(wire.encode_error(traceback.format_exc()))
+            else:
+                held_error = traceback.format_exc()
+    conn.close()

@@ -395,6 +395,14 @@ class World:
                 policy=host.policy,
             )
         network.compute_routes()
+        if config.forwarding_shards >= 2:
+            # Spawn each AS's persistent worker shards now that every
+            # build-time host is registered (the database hooks keep the
+            # shards in sync for hosts attached later).  Call
+            # ``world.close()`` (or use the world as a context manager)
+            # when done with a sharded world.
+            for asys in ases:
+                asys.start_shard_pool()
         return world
 
     # -- AS addressing ------------------------------------------------------
@@ -538,6 +546,22 @@ class World:
 
     # -- lifecycle ------------------------------------------------------------
 
+    def close(self) -> None:
+        """Release out-of-process resources (the per-AS shard pools).
+
+        Idempotent and a no-op for unsharded worlds; sharded worlds
+        should be closed (or used as context managers) so their worker
+        processes do not linger until interpreter exit.
+        """
+        for asys in self.ases:
+            asys.stop_shard_pool(final=True)
+
+    def __enter__(self) -> "World":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def run(self, **kwargs) -> int:
         """Drain the event queue; returns the number of events processed."""
         return self.network.run(**kwargs)
@@ -605,9 +629,44 @@ class WorldBuilder:
     ) -> None:
         self._seed = seed
         self._config = config
+        self._sharding: dict[str, int | float] = {}
         self._ases: list[AsSpec] = []
         self._links: list[LinkSpec] = []
         self._hosts: list[HostSpec] = []
+
+    # -- deployment knobs ----------------------------------------------------
+
+    def sharding(
+        self,
+        shards: int,
+        *,
+        batch_size: int | None = None,
+        block: int | None = None,
+    ) -> "WorldBuilder":
+        """Shard every AS's data plane over ``shards`` worker processes.
+
+        Overlays ``forwarding_shards`` (and optionally the burst size and
+        the HID block width) onto the builder's config; the built world
+        spawns one :class:`repro.sharding.ShardedDataPlane` per AS and
+        should be closed when done.  ``shards=1`` switches sharding back
+        off.
+        """
+        if shards < 1:
+            raise TopologyError(f"shards must be >= 1, got {shards}")
+        # Each call restates the whole sharding overlay: sharding(1)
+        # after sharding(4, batch_size=64) reverts the batch/block
+        # overrides too, not just the shard count.
+        self._sharding.clear()
+        self._sharding["forwarding_shards"] = 0 if shards == 1 else shards
+        if batch_size is not None:
+            if batch_size < 1:
+                raise TopologyError(f"batch_size must be >= 1, got {batch_size}")
+            self._sharding["forwarding_batch_size"] = batch_size
+        if block is not None:
+            if block < 1:
+                raise TopologyError(f"block must be >= 1, got {block}")
+            self._sharding["shard_block"] = block
+        return self
 
     # -- ASes ----------------------------------------------------------------
 
@@ -715,4 +774,7 @@ class WorldBuilder:
 
     def build(self) -> World:
         """Instantiate the accumulated spec into a :class:`World`."""
-        return World.from_spec(self.spec(), seed=self._seed, config=self._config)
+        config = self._config
+        if self._sharding:
+            config = replace(config or ApnaConfig(), **self._sharding)
+        return World.from_spec(self.spec(), seed=self._seed, config=config)

@@ -1,0 +1,577 @@
+"""The sharded data plane: plan, wire protocol, pool lifecycle, world
+integration and the sharded E1 issuance runner.
+
+Everything here is sized for the tier-1 pass: shard counts are clamped
+to 2, bursts are small, and nothing asserts wall-clock speedups — the
+worker processes are exercised for *correctness* on any core count (the
+multi-core scaling claims live in ``benchmarks/bench_sharding.py``).  A
+single lenient scaling sanity check runs only on multi-core hosts.
+"""
+
+import os
+
+import pytest
+
+from repro.core.border_router import Action, DropReason, Verdict
+from repro.core.config import ApnaConfig
+from repro.core.ephid import IvAllocator
+from repro.core.errors import RevokedError, UnknownHostError
+from repro.core.hostdb import FIRST_HOST_HID
+from repro.sharding import (
+    ShardError,
+    ShardHostView,
+    ShardPlan,
+    ShardedDataPlane,
+    split_requests,
+)
+from repro.sharding import wire
+from repro.topology import WorldBuilder
+from repro.workload import TrafficProfile
+from repro.workload.packets import build_apna_pool
+
+#: Tier-1 worlds always use two shards — enough to cross a shard
+#: boundary, cheap enough for the 1-CPU CI container.
+TIER1_SHARDS = 2
+
+
+class TestShardPlan:
+    def test_service_hids_live_on_shard_zero(self):
+        plan = ShardPlan(4)
+        assert {plan.owner_of(hid) for hid in range(1, 6)} == {0}
+
+    def test_round_robin_over_host_hids(self):
+        plan = ShardPlan(3)
+        owners = [plan.owner_of(FIRST_HOST_HID + i) for i in range(6)]
+        assert owners == [0, 1, 2, 0, 1, 2]
+
+    def test_contiguous_blocks(self):
+        plan = ShardPlan(2, block=3)
+        owners = [plan.owner_of(FIRST_HOST_HID + i) for i in range(8)]
+        assert owners == [0, 0, 0, 1, 1, 1, 0, 0]
+
+    def test_iv_routing_matches_residue(self):
+        plan = ShardPlan(3)
+        for iv in (0, 1, 2, 5, 2**32 - 1):
+            ephid = bytes(8) + iv.to_bytes(4, "big") + bytes(4)
+            assert plan.shard_of_ephid(ephid) == iv % 3 == plan.shard_of_iv(iv)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ShardPlan(0)
+        with pytest.raises(ValueError):
+            ShardPlan(2, block=0)
+
+
+class TestPinnedIvAllocation:
+    def test_pinning_matches_plan_owner(self):
+        plan = ShardPlan(3)
+        alloc = IvAllocator(start=12345, plan=plan)
+        for hid in range(FIRST_HOST_HID, FIRST_HOST_HID + 9):
+            iv = alloc.next_iv_for(hid)
+            assert iv % 3 == plan.owner_of(hid)
+
+    def test_pinned_ivs_stay_unique(self):
+        plan = ShardPlan(2)
+        alloc = IvAllocator(start=7, plan=plan)
+        ivs = [
+            alloc.next_iv_for(FIRST_HOST_HID + (i % 4)) for i in range(200)
+        ]
+        assert len(set(ivs)) == len(ivs)
+        assert alloc.issued == 200
+
+    def test_unpinned_allocator_unchanged_by_hid_api(self):
+        a = IvAllocator(start=99)
+        b = IvAllocator(start=99)
+        assert [a.next_iv() for _ in range(5)] == [
+            b.next_iv_for(FIRST_HOST_HID + i) for i in range(5)
+        ]
+
+    def test_wraparound_stays_in_residue_class(self):
+        plan = ShardPlan(3)
+        alloc = IvAllocator(start=2**32 - 2, plan=plan)
+        ivs = [alloc.next_iv_for(FIRST_HOST_HID + 1) for _ in range(3)]
+        assert all(iv % 3 == 1 for iv in ivs)
+        assert len(set(ivs)) == len(ivs)
+
+
+class TestWireCodecs:
+    def test_burst_roundtrip(self):
+        frames = [b"\x01" * 48, b"\x02" * 56, b""]
+        directions = [wire.EGRESS, wire.INGRESS, wire.EGRESS]
+        now, out_frames, out_dirs = wire.decode_burst(
+            wire.encode_burst(12.5, frames, directions)
+        )
+        assert (now, out_frames, out_dirs) == (12.5, frames, directions)
+
+    def test_verdict_roundtrip(self):
+        verdicts = [
+            Verdict(Action.FORWARD_INTER, next_aid=200),
+            Verdict(Action.FORWARD_INTRA, hid=FIRST_HOST_HID),
+            Verdict(Action.DROP, reason=DropReason.BAD_MAC),
+            Verdict(Action.DROP, reason=DropReason.REPLAYED),
+            # The full u32 range is legal for AIDs and HIDs: the extreme
+            # values must survive (no in-band None sentinel).
+            Verdict(Action.FORWARD_INTER, next_aid=2**32 - 1),
+            Verdict(Action.FORWARD_INTRA, hid=2**32 - 1),
+            Verdict(Action.FORWARD_INTRA, hid=0),
+        ]
+        assert wire.decode_verdicts(wire.encode_verdicts(verdicts)) == verdicts
+
+    def test_control_roundtrips(self):
+        ephid = bytes(range(16))
+        assert wire.decode_revoke_ephid(
+            wire.encode_revoke_ephid(ephid, 900.0)
+        ) == (ephid, 900.0)
+        assert wire.decode_revoke_hid(wire.encode_revoke_hid(77)) == 77
+        hid, owned, control, mac = wire.decode_register_host(
+            wire.encode_register_host(
+                9, owned=True, control=b"c" * 16, packet_mac=b"m" * 16
+            )
+        )
+        assert (hid, owned, control, mac) == (9, True, b"c" * 16, b"m" * 16)
+        # Non-owner announcements must not carry key material.
+        _, owned, control, mac = wire.decode_register_host(
+            wire.encode_register_host(
+                9, owned=False, control=b"c" * 16, packet_mac=b"m" * 16
+            )
+        )
+        assert not owned and control == bytes(16) and mac == bytes(16)
+
+    def test_stats_roundtrip(self):
+        counters = {field: i for i, field in enumerate(wire.STATS_FIELDS)}
+        assert wire.decode_stats(wire.encode_stats(counters)) == counters
+
+
+class TestShardHostView:
+    def test_owned_vs_replicated_split(self):
+        view = ShardHostView()
+        view.add_owned(10, b"c" * 16, b"m" * 16)
+        view.set_live(11)
+        assert view.is_valid(10) and view.is_valid(11)
+        assert view.get(10).keys.packet_mac == b"m" * 16
+        with pytest.raises(UnknownHostError):
+            view.get(11)  # liveness replicated, keys not owned here
+
+    def test_revoke(self):
+        view = ShardHostView()
+        view.add_owned(10, b"c" * 16, b"m" * 16)
+        view.revoke(10)
+        assert not view.is_valid(10)
+        with pytest.raises(RevokedError):
+            view.get(10)
+
+
+def build_sharded_world(*, seed=21, hosts=4, batch_size=8, shards=TIER1_SHARDS):
+    builder = (
+        WorldBuilder(seed=seed)
+        .sharding(shards, batch_size=batch_size)
+        .asys("a", aid=100)
+        .asys("b", aid=200)
+        .link("a", "b")
+    )
+    for i in range(hosts):
+        builder.host(f"a{i}", at="a")
+        builder.host(f"b{i}", at="b")
+    return builder.build()
+
+
+class TestSharded2ShardWorld:
+    """The tier-1 sharded arm: a 2-shard world carrying real traffic."""
+
+    def test_world_spawns_and_closes_pools(self):
+        world = build_sharded_world(hosts=2)
+        try:
+            for name in ("a", "b"):
+                pool = world.asys(name).shard_pool
+                assert pool is not None and not pool.closed
+                assert pool.nshards == TIER1_SHARDS
+        finally:
+            world.close()
+        assert world.asys("a").shard_pool is None
+        world.close()  # idempotent
+
+    def test_traffic_flows_through_the_pool(self):
+        with build_sharded_world(hosts=4) as world:
+            report = TrafficProfile(clients=4, servers=2, max_flows=24).drive(world)
+            assert report.payloads_delivered == report.flows_offered
+            stats = world.asys("a").shard_pool.stats()
+            # Data-plane verdicts really came from the workers.
+            assert stats["forwarded_inter"] + stats["forwarded_intra"] > 0
+            per_shard = world.asys("a").shard_pool.shard_stats()
+            busy = [
+                s
+                for s in per_shard
+                if s["forwarded_inter"] + s["forwarded_intra"] > 0
+            ]
+            # With 4 hosts round-robin over 2 shards, both shards work.
+            assert len(busy) == TIER1_SHARDS
+
+    def test_host_attached_after_build_is_reachable(self):
+        with build_sharded_world(hosts=2) as world:
+            late = world.attach_host("late", at="a")
+            server = world.host("b0")
+            serving = server.acquire_ephid_direct()
+            session = late.connect(serving.cert, early_data=b"hello late")
+            world.run()
+            assert session is not None
+            assert any(data == b"hello late" for _, _, data in server.inbox)
+
+    def test_revocation_reaches_shards_before_next_burst(self):
+        with build_sharded_world(hosts=2) as world:
+            as_a = world.asys("a")
+            client = world.host("a0")
+            server = world.host("b0")
+            serving = server.acquire_ephid_direct()
+            src = client.acquire_ephid_direct()
+            client.connect(serving.cert, early_data=b"ok", src_owned=src)
+            world.run()
+            before = as_a.shard_pool.stats()
+            # Revoke through the assembly's list: the on_add hook must
+            # broadcast to every worker before any later burst.
+            as_a.revocations.add(src.ephid, 1e12)
+            client.send_data(
+                client.sessions[(src.ephid, serving.cert.ephid)], b"again"
+            )
+            world.run()
+            after = as_a.shard_pool.stats()
+            assert (
+                after[DropReason.SRC_REVOKED.value]
+                == before[DropReason.SRC_REVOKED.value] + 1
+            )
+
+    def test_hid_revocation_propagates(self):
+        with build_sharded_world(hosts=2) as world:
+            as_a = world.asys("a")
+            client = world.host("a0")
+            server = world.host("b0")
+            serving = server.acquire_ephid_direct()
+            src = client.acquire_ephid_direct()
+            client.connect(serving.cert, early_data=b"ok", src_owned=src)
+            world.run()
+            record = as_a.hostdb.find_by_subscriber(client.subscriber_id)
+            as_a.hostdb.revoke_hid(record.hid)
+            client.send_data(
+                client.sessions[(src.ephid, serving.cert.ephid)], b"again"
+            )
+            world.run()
+            stats = as_a.shard_pool.stats()
+            assert stats[DropReason.SRC_HID_INVALID.value] == 1
+
+
+class TestMidTrafficTransitions:
+    """Replay-filter history cannot cross a plane transition; switching
+    mid-traffic must say so instead of silently reopening the window."""
+
+    def test_start_after_traffic_warns(self):
+        from tests.conftest import build_world
+
+        world = build_world(
+            config=ApnaConfig(
+                replay_protection=True,
+                in_network_replay_filter=True,
+                forwarding_shards=2,
+            ),
+            host_names=("alice", "bob"),
+        )
+        alice, bob = world.hosts["alice"], world.hosts["bob"]
+        serving = bob.acquire_ephid_direct()
+        alice.connect(serving.cert, early_data=b"pre-shard")
+        world.network.run()  # traffic through the in-line router
+        assert world.as_a.br.replay_filter.passed > 0
+        with pytest.warns(RuntimeWarning, match="replay"):
+            world.as_a.start_shard_pool()
+        world.as_a.stop_shard_pool()
+
+    def test_stop_after_traffic_warns(self):
+        with build_sharded_world(hosts=2) as world:
+            # No replay filter in this world: closing must stay silent.
+            world.asys("a").stop_shard_pool()
+
+        builder = (
+            WorldBuilder(
+                seed=5,
+                config=ApnaConfig(
+                    replay_protection=True, in_network_replay_filter=True
+                ),
+            )
+            .sharding(2, batch_size=4)
+            .asys("a", aid=100)
+            .asys("b", aid=200)
+            .link("a", "b")
+            .host("alice", at="a")
+            .host("bob", at="b")
+        )
+        world = builder.build()
+        try:
+            alice, bob = world.host("alice"), world.host("bob")
+            serving = bob.acquire_ephid_direct()
+            alice.connect(serving.cert, early_data=b"via shards")
+            world.run()
+            with pytest.warns(RuntimeWarning, match="replay"):
+                world.asys("a").stop_shard_pool()
+        finally:
+            world.close()
+
+
+class TestDispatcher:
+    def test_transit_short_circuits_without_worker_roundtrip(self):
+        with build_sharded_world(hosts=1) as world:
+            as_b = world.asys("b")
+            pool = build_apna_pool(
+                world.asys("a"),
+                [world.host("a0")],
+                size=128,
+                count=4,
+                dst_aid=65000,
+            )
+            plane = as_b.shard_pool
+            verdicts = plane.process(
+                pool.wire_frames, [False] * 4, as_b.clock()
+            )
+            assert all(v.next_aid == 65000 for v in verdicts)
+            assert plane.forwarded_inter == 4
+            assert all(
+                s["forwarded_inter"] == 0 for s in plane.shard_stats()
+            )
+
+    def test_out_of_order_collect_rejected(self):
+        with build_sharded_world(hosts=1) as world:
+            as_a = world.asys("a")
+            pool = build_apna_pool(
+                as_a, [world.host("a0")], size=128, count=2, dst_aid=200
+            )
+            plane = as_a.shard_pool
+            t1 = plane.submit(pool.wire_frames, [True, True], as_a.clock())
+            t2 = plane.submit(pool.wire_frames, [True, True], as_a.clock())
+            with pytest.raises(ShardError):
+                plane.collect(t2)
+            plane.collect(t1)
+            plane.collect(t2)
+
+    def test_pool_requires_pinned_assembly(self, world):
+        # tests/conftest worlds are unsharded: no IV pinning, so a
+        # multi-shard pool must refuse to build.
+        with pytest.raises(ValueError):
+            ShardedDataPlane.for_assembly(world.as_a, 2)
+
+    def test_runt_frame_rejected_at_dispatch(self):
+        with build_sharded_world(hosts=1) as world:
+            plane = world.asys("a").shard_pool
+            with pytest.raises(ShardError):
+                plane.process([b"\x00" * 8], [True], 0.0)
+
+    def test_runt_rejection_is_nonce_aware(self):
+        # With replay protection the wire header is 56 bytes: a 50-byte
+        # frame must be rejected at dispatch (plane untouched), not
+        # shipped to a worker whose parse failure would poison the pool.
+        builder = (
+            WorldBuilder(seed=9, config=ApnaConfig(replay_protection=True))
+            .sharding(2, batch_size=4)
+            .asys("a", aid=100)
+            .host("h", at="a")
+        )
+        with builder.build() as world:
+            plane = world.asys("a").shard_pool
+            with pytest.raises(ShardError, match="56-byte"):
+                plane.process([b"\x00" * 50], [True], 0.0)
+            plane.shard_stats()  # still healthy
+
+    def test_mismatched_direction_flags_rejected(self):
+        with build_sharded_world(hosts=1) as world:
+            plane = world.asys("a").shard_pool
+            with pytest.raises(ShardError, match="direction flags"):
+                plane.process([b"\x00" * 48, b"\x00" * 48], [True], 0.0)
+
+    def test_sharding_one_reverts_all_overlays(self):
+        # sharding(1) after sharding(4, batch_size=64) must restore the
+        # scalar in-line pipeline, batch size included.
+        builder = (
+            WorldBuilder(seed=3)
+            .sharding(4, batch_size=64, block=8)
+            .sharding(1)
+            .asys("a", aid=100)
+        )
+        world = builder.build()
+        config = world.asys("a").config
+        assert config.forwarding_shards == 0
+        assert config.forwarding_batch_size == ApnaConfig().forwarding_batch_size
+        assert config.shard_block == ApnaConfig().shard_block
+        assert world.asys("a").shard_pool is None
+
+    def test_control_error_held_until_next_reply(self):
+        """A failing fire-and-forget message must not emit an unsolicited
+        reply (that would desynchronise the verdict stream); the error is
+        delivered in place of the next expected reply instead."""
+        with build_sharded_world(hosts=1) as world:
+            plane = world.asys("a").shard_pool
+            plane._pool.send_bytes(0, bytes([99]))  # unknown message kind
+            with pytest.raises(ShardError, match="unknown message kind"):
+                plane.shard_stats()
+
+    def test_plane_poisoned_after_lost_reply(self):
+        with build_sharded_world(hosts=1) as world:
+            as_a = world.asys("a")
+            pool = build_apna_pool(
+                as_a, [world.host("a0")], size=128, count=2, dst_aid=200
+            )
+            plane = as_a.shard_pool
+            plane._pool.send_bytes(0, bytes([99]))  # poison pill
+            ticket = plane.submit(pool.wire_frames, [True, True], as_a.clock())
+            with pytest.raises(ShardError):
+                plane.collect(ticket)
+            # The reply streams can no longer be trusted: refuse work.
+            with pytest.raises(ShardError, match="poisoned"):
+                plane.submit(pool.wire_frames, [True, True], as_a.clock())
+            with pytest.raises(ShardError, match="poisoned"):
+                plane.stats()
+
+    def test_plane_poisoned_when_a_worker_dies(self):
+        with build_sharded_world(hosts=2) as world:
+            as_a = world.asys("a")
+            pool = build_apna_pool(
+                as_a,
+                [world.host("a0"), world.host("a1")],
+                size=128,
+                count=8,
+                dst_aid=200,
+            )
+            plane = as_a.shard_pool
+            for proc in plane._pool._procs:
+                proc.terminate()
+                proc.join(timeout=5.0)
+            with pytest.raises((ShardError, OSError, EOFError)):
+                plane.process(
+                    pool.wire_frames, [True] * len(pool.wire_frames), 0.0
+                )
+            assert plane._broken is not None
+            with pytest.raises(ShardError, match="poisoned"):
+                plane.process(
+                    pool.wire_frames, [True] * len(pool.wire_frames), 0.0
+                )
+
+    def test_in_flight_cap_counts_verdicts(self):
+        with build_sharded_world(hosts=1) as world:
+            as_a = world.asys("a")
+            pool = build_apna_pool(
+                as_a, [world.host("a0")], size=128, count=2, dst_aid=200
+            )
+            plane = as_a.shard_pool
+            plane.MAX_IN_FLIGHT_VERDICTS = 4  # instance override for the test
+            tickets = [
+                plane.submit(pool.wire_frames, [True, True], as_a.clock())
+                for _ in range(2)
+            ]
+            with pytest.raises(ShardError, match="in flight"):
+                plane.submit(pool.wire_frames, [True, True], as_a.clock())
+            for ticket in tickets:
+                plane.collect(ticket)
+            # Draining frees the budget again.
+            plane.collect(
+                plane.submit(pool.wire_frames, [True, True], as_a.clock())
+            )
+            # A lone burst is exempt whatever its size: nothing else is
+            # outstanding, so the reply always has an immediate reader
+            # (this is what keeps forwarding_batch_size > cap working).
+            big = build_apna_pool(
+                as_a, [world.host("a0")], size=128, count=6, dst_aid=200
+            )
+            plane.MAX_IN_FLIGHT_VERDICTS = 2
+            verdicts = plane.process(
+                big.wire_frames, [True] * 6, as_a.clock()
+            )
+            assert len(verdicts) == 6
+
+    def test_control_requires_empty_ticket_queue(self):
+        with build_sharded_world(hosts=1) as world:
+            as_a = world.asys("a")
+            pool = build_apna_pool(
+                as_a, [world.host("a0")], size=128, count=2, dst_aid=200
+            )
+            plane = as_a.shard_pool
+            ticket = plane.submit(pool.wire_frames, [True, True], as_a.clock())
+            with pytest.raises(ShardError, match="in flight"):
+                plane.revoke_ephid(bytes(16), 1e12)
+            plane.collect(ticket)
+            plane.revoke_ephid(bytes(16), 1e12)  # fine once drained
+
+    def test_rejected_burst_leaves_counters_untouched(self):
+        with build_sharded_world(hosts=1) as world:
+            as_a = world.asys("a")
+            pool = build_apna_pool(
+                as_a, [world.host("a0")], size=128, count=1, dst_aid=65000
+            )
+            plane = as_a.shard_pool
+            transit = pool.wire_frames[0]
+            with pytest.raises(ShardError):
+                # Valid transit frame followed by a runt: the whole burst
+                # is rejected before any counter moves.
+                plane.process([transit, b"\x00" * 8], [False, False], 0.0)
+            assert plane.forwarded_inter == 0
+            verdicts = plane.process([transit], [False], as_a.clock())
+            assert verdicts[0].next_aid == 65000
+            assert plane.forwarded_inter == 1
+
+
+class TestShardedIssuance:
+    def test_split_requests_exact(self):
+        assert split_requests(10, 4) == [3, 3, 2, 2]
+        assert split_requests(7, 3) == [3, 2, 2]
+        assert split_requests(2, 4) == [1, 1]  # zero chunks dropped
+        assert split_requests(12, 4) == [3, 3, 3, 3]
+        for requests, workers in ((10, 4), (7, 3), (1, 5), (9, 2)):
+            assert sum(split_requests(requests, workers)) == requests
+
+    def test_split_requests_validates(self):
+        with pytest.raises(ValueError):
+            split_requests(0, 2)
+        with pytest.raises(ValueError):
+            split_requests(4, 0)
+
+    def test_parallel_rate_with_non_divisible_workers(self):
+        from repro.experiments.e1_ms_performance import measure_parallel_rate
+
+        # 7 % 3 != 0: the pre-fix code silently issued only 6 of 7
+        # requests; now every request is performed (the runner raises
+        # otherwise) and the duration is the slowest worker's loop.
+        elapsed = measure_parallel_rate(7, 3)
+        assert elapsed > 0
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="scaling sanity check needs at least two cores",
+)
+@pytest.mark.xfail(
+    reason="wall-clock bound; an oversubscribed runner (shared cores, "
+    "cgroup quota) pays full IPC cost on one effective core",
+    strict=False,
+)
+def test_two_shards_not_slower_than_half_single_process():
+    """Lenient multi-core liveness floor (the real curve is a benchmark):
+    a 2-shard pipelined run must beat half the single-process batch rate."""
+    import time
+
+    with build_sharded_world(hosts=4, batch_size=32) as world:
+        as_a = world.asys("a")
+        pool = build_apna_pool(
+            as_a, [world.host(f"a{i}") for i in range(4)], size=256, count=32, dst_aid=200
+        )
+        frames, packets = pool.wire_frames, pool.apna_packets
+        plane = as_a.shard_pool
+        now = as_a.clock()
+        rounds = 30
+        plane.process(frames, [True] * len(frames), now)  # warm-up
+        start = time.perf_counter()
+        tickets = [
+            plane.submit(frames, [True] * len(frames), now)
+            for _ in range(rounds)
+        ]
+        for ticket in tickets:
+            plane.collect(ticket)
+        sharded = time.perf_counter() - start
+        as_a.br.process_batch(list(packets))  # warm the MAC cache
+        start = time.perf_counter()
+        for _ in range(rounds):
+            as_a.br.process_batch(list(packets))
+        single = time.perf_counter() - start
+        assert sharded < single * 2.0

@@ -1,0 +1,308 @@
+"""Cross-process equivalence of the sharded data plane.
+
+The contract (see :mod:`repro.sharding.pool`): the same packet stream
+through ``ShardedDataPlane(shards=N)`` and through a single-process
+:class:`BorderRouter` burst loop yields identical verdict sequences, and
+the shard counters sum to the single router's counters.  A seeded fuzzer
+mixes every verdict class — including mid-stream revocations and replay
+duplicates whose source EphIDs straddle shard boundaries — and checks
+the property under both crypto backends and at 2 and 3 shards (3
+exercises the non-power-of-two routing path).
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.border_router import Action, BorderRouter, DropReason
+from repro.core.config import ApnaConfig
+from repro.core.replay_filter import RotatingReplayFilter
+from repro.crypto import backend as crypto_backend
+from repro.sharding import ShardedDataPlane
+from repro.wire.apna import Endpoint
+
+from tests.conftest import build_world
+
+BACKENDS = crypto_backend.available_backends()
+WINDOW = 900.0
+BITS = 1 << 16
+SHARD_COUNTS = (2, 3)
+
+
+def _build_world(backend, nshards):
+    with crypto_backend.use_backend(backend):
+        world = build_world(
+            config=ApnaConfig(
+                replay_protection=True,
+                in_network_replay_filter=True,
+                replay_filter_window=WINDOW,
+                replay_filter_bits=BITS,
+                forwarding_shards=nshards,
+            ),
+            host_names=("alice", "bob", "carol", "dave", "erin"),
+        )
+        world.crypto_backend = backend
+    return world
+
+
+def _reference_router(world):
+    """A fresh single-process router over the world's hostdb/revocations."""
+    return BorderRouter(
+        world.as_a.aid,
+        world.as_a.codec,
+        world.as_a.hostdb,
+        world.as_a.revocations,
+        world.network.scheduler.clock(),
+        packet_mac_size=world.config.packet_mac_size,
+        replay_filter=RotatingReplayFilter(
+            window=WINDOW, bits_per_generation=BITS
+        ),
+    )
+
+
+def _fresh_plane(world, nshards):
+    as_a = world.as_a
+    return ShardedDataPlane.from_parts(
+        aid=as_a.aid,
+        enc_key=as_a.keys.secret.ephid_enc,
+        mac_key=as_a.keys.secret.ephid_mac,
+        hostdb=as_a.hostdb,
+        revocations=as_a.revocations,
+        nshards=nshards,
+        plan=as_a.shard_plan,
+        crypto_backend=world.crypto_backend,
+        packet_mac_size=world.config.packet_mac_size,
+        with_nonce=True,
+        replay_window=WINDOW,
+        replay_bits=BITS,
+    )
+
+
+def _packet_mix(world, rng):
+    """A packet builder covering every verdict class.
+
+    ``alice``/``carol``/``erin`` home on AS 100 and, with round-robin
+    shard assignment, land on different shards — so replay duplicates
+    and revocations exercise more than one worker.
+    """
+    with crypto_backend.use_backend(world.crypto_backend):
+        alice = world.hosts["alice"]
+        carol = world.hosts["carol"]
+        erin = world.hosts["erin"]
+        bob = world.hosts["bob"]
+        sources = [
+            (host, host.acquire_ephid_direct()) for host in (alice, carol, erin)
+        ]
+        peer = bob.acquire_ephid_direct()
+        local_peer = carol.acquire_ephid_direct()
+        revocable = [
+            (host, host.acquire_ephid_direct()) for host in (alice, erin)
+        ]
+        codec = world.as_a.codec
+        alice_hid = world.as_a.hostdb.find_by_subscriber(alice.subscriber_id).hid
+        expired_ephid = codec.seal(
+            alice_hid, exp_time=1, iv=world.as_a.ivs.next_iv_for(alice_hid)
+        )
+        bad_hid = 0xDEAD_0000
+        bad_hid_ephid = codec.seal(
+            bad_hid, exp_time=2**31, iv=world.as_a.ivs.next_iv_for(bad_hid)
+        )
+
+    dst_inter = Endpoint(world.as_b.aid, peer.ephid)
+    dst_intra = Endpoint(world.as_a.aid, local_peer.ephid)
+    nonces = iter(range(1, 10**6))
+    seen = []
+
+    def build(kind):
+        host, src = rng.choice(sources)
+        make = host.stack.make_packet
+        if kind in ("inter", "intra"):
+            dst = dst_inter if kind == "inter" else dst_intra
+            packet = make(src.ephid, dst, b"data", nonce=next(nonces))
+            seen.append(packet)
+            return packet
+        if kind == "replay" and seen:
+            return rng.choice(seen)
+        if kind == "forged":
+            packet = make(src.ephid, dst_inter, b"data", nonce=next(nonces))
+            return dataclasses.replace(
+                packet,
+                header=dataclasses.replace(
+                    packet.header, src_ephid=rng.randbytes(16)
+                ),
+            )
+        if kind == "expired":
+            return make(expired_ephid, dst_inter, b"data", nonce=next(nonces))
+        if kind == "revoked":
+            rev_host, rev = rng.choice(revocable)
+            return rev_host.stack.make_packet(
+                rev.ephid, dst_inter, b"data", nonce=next(nonces)
+            )
+        if kind == "bad-hid":
+            return make(bad_hid_ephid, dst_inter, b"data", nonce=next(nonces))
+        if kind == "bad-mac":
+            packet = make(src.ephid, dst_inter, b"data", nonce=next(nonces))
+            return dataclasses.replace(
+                packet, header=packet.header.with_mac(b"\xff" * 8)
+            )
+        if kind == "foreign":
+            packet = make(src.ephid, dst_inter, b"data", nonce=next(nonces))
+            return dataclasses.replace(
+                packet, header=dataclasses.replace(packet.header, src_aid=999)
+            )
+        if kind == "forged-dst":
+            return make(
+                src.ephid,
+                Endpoint(world.as_a.aid, rng.randbytes(16)),
+                b"data",
+                nonce=next(nonces),
+            )
+        packet = make(src.ephid, dst_inter, b"data", nonce=next(nonces))
+        seen.append(packet)
+        return packet
+
+    return build, revocable
+
+
+KINDS = (
+    "inter", "inter", "inter", "intra", "replay", "replay", "forged",
+    "expired", "revoked", "bad-hid", "bad-mac", "foreign", "forged-dst",
+)
+
+
+def _assert_counters_match(plane, router):
+    """Shard counter sums (plus dispatcher transit) == single-router state."""
+    stats = plane.stats()
+    for reason, count in router.drops.items():
+        assert stats[reason.value] == count, reason
+    assert stats["forwarded_inter"] == router.forwarded_inter
+    assert stats["forwarded_intra"] == router.forwarded_intra
+    if router.replay_filter is not None:
+        assert stats["replay_passed"] == router.replay_filter.passed
+        assert stats["replay_replays"] == router.replay_filter.replays
+
+
+@pytest.mark.parametrize("nshards", SHARD_COUNTS)
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestShardedEquivalence:
+    def test_fuzzed_egress_bursts(self, backend, nshards):
+        world = _build_world(backend, nshards)
+        world.network.run_until(5.0)  # expire the crafted exp_time=1 EphID
+        rng = random.Random(0x5AD + nshards)
+        build, revocable = _packet_mix(world, rng)
+        # The mix revokes EphIDs mid-stream; seed the initial revocation
+        # before the plane snapshots so both sides start identical.
+        first_host, first = revocable[0]
+        world.as_a.revocations.add(first.ephid, 1e12)
+        router = _reference_router(world)
+        plane = _fresh_plane(world, nshards)
+        try:
+            # Keep the reference revocation list and the shard replicas in
+            # lockstep from here on.
+            world.as_a.revocations.on_add = plane.revoke_ephid
+            for round_no in range(6):
+                burst = [
+                    build(rng.choice(KINDS)) for _ in range(rng.randint(1, 40))
+                ]
+                now = world.as_a.clock()
+                scalar = [router.process_outgoing(p) for p in burst]
+                sharded = plane.process_packets(
+                    [(p, True) for p in burst], now
+                )
+                assert sharded == scalar
+                if round_no == 2:
+                    # Mid-stream revocation: must reach the owning shard
+                    # before the next burst.
+                    _, second = revocable[1]
+                    world.as_a.revocations.add(second.ephid, 1e12)
+            _assert_counters_match(plane, router)
+            hits = {reason for reason, n in router.drops.items() if n}
+            assert {
+                DropReason.SRC_FORGED, DropReason.SRC_EXPIRED,
+                DropReason.SRC_REVOKED, DropReason.SRC_HID_INVALID,
+                DropReason.BAD_MAC, DropReason.REPLAYED,
+                DropReason.NOT_LOCAL_SOURCE, DropReason.DST_FORGED,
+            } <= hits
+            assert router.forwarded_inter > 0
+            assert router.forwarded_intra > 0
+        finally:
+            world.as_a.revocations.on_add = None
+            plane.close()
+
+    def test_fuzzed_mixed_direction_bursts(self, backend, nshards):
+        """Egress and ingress interleaved in one burst, the way the
+        border-router node drains them (egress subset first)."""
+        world = _build_world(backend, nshards)
+        world.network.run_until(5.0)
+        rng = random.Random(0xB0B + nshards)
+        build, _ = _packet_mix(world, rng)
+        router = _reference_router(world)
+        plane = _fresh_plane(world, nshards)
+        try:
+            for _ in range(5):
+                items = []
+                for _ in range(rng.randint(2, 32)):
+                    packet = build(
+                        rng.choice(("inter", "intra", "replay", "forged-dst"))
+                    )
+                    if rng.random() < 0.4:
+                        # Ingress: transit (foreign dst) or local delivery.
+                        dst_aid = 777 if rng.random() < 0.4 else 100
+                        packet = dataclasses.replace(
+                            packet,
+                            header=dataclasses.replace(
+                                packet.header, dst_aid=dst_aid
+                            ),
+                        )
+                        items.append((packet, False))
+                    else:
+                        items.append((packet, True))
+                now = world.as_a.clock()
+                # Reference: the node's two-pass split, egress then ingress.
+                reference = [None] * len(items)
+                egress = [i for i, (_, out) in enumerate(items) if out]
+                ingress = [i for i, (_, out) in enumerate(items) if not out]
+                for indexes, process in (
+                    (egress, router.process_batch),
+                    (ingress, router.process_incoming_batch),
+                ):
+                    for i, verdict in zip(
+                        indexes, process([items[i][0] for i in indexes])
+                    ):
+                        reference[i] = verdict
+                assert plane.process_packets(items, now) == reference
+            _assert_counters_match(plane, router)
+            assert router.forwarded_inter > 0
+        finally:
+            plane.close()
+
+    def test_replay_duplicates_straddle_shards(self, backend, nshards):
+        """The same duplicate pair, repeated across hosts on different
+        shards, is flagged identically in both planes."""
+        world = _build_world(backend, nshards)
+        rng = random.Random(1)
+        build, _ = _packet_mix(world, rng)
+        router = _reference_router(world)
+        plane = _fresh_plane(world, nshards)
+        try:
+            firsts = [build("inter") for _ in range(nshards * 2)]
+            shards_hit = {
+                plane.plan.shard_of_ephid(p.header.src_ephid) for p in firsts
+            }
+            assert len(shards_hit) > 1  # genuinely straddles a boundary
+            burst = firsts + firsts  # every packet replayed once
+            now = world.as_a.clock()
+            scalar = [router.process_outgoing(p) for p in burst]
+            sharded = plane.process_packets([(p, True) for p in burst], now)
+            assert sharded == scalar
+            assert [v.action for v in sharded[: len(firsts)]] == [
+                Action.FORWARD_INTER
+            ] * len(firsts)
+            assert all(
+                v.reason is DropReason.REPLAYED
+                for v in sharded[len(firsts) :]
+            )
+            _assert_counters_match(plane, router)
+        finally:
+            plane.close()
