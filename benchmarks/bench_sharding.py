@@ -19,17 +19,29 @@ dispatcher packs burst k+1 while the shards crunch burst k.
 On a single-core CI container the curve degenerates (everything shares
 one core); ``extra_info["cpu_count"]`` says which regime a snapshot was
 measured in.
+
+PR 6 adds the robustness arms: ``test_shard_recovery_time`` prices one
+full failure cycle (worker SIGKILL → drop-and-count → respawn + state
+resync → first clean burst), and ``test_supervision_steady_state_overhead``
+compares the bounded ``poll``-then-``recv`` reply wait the supervisor
+needs against the old blocking ``recv`` on the no-failure path.
 """
 
 import os
 
 import pytest
 
-from repro.core.border_router import Action
+from repro.core.border_router import Action, DropReason
 from repro.core.config import ApnaConfig
 from repro.crypto import backend as crypto_backend
 from repro.experiments.common import build_bench_world
-from repro.sharding import ShardedDataPlane, run_issuance_shards, split_requests
+from repro.faults import FaultPlan
+from repro.sharding import (
+    ShardedDataPlane,
+    SupervisorPolicy,
+    run_issuance_shards,
+    split_requests,
+)
 from repro.workload.packets import build_apna_pool
 
 SHARD_COUNTS = (1, 2, 4)
@@ -173,6 +185,139 @@ def test_dispatch_only_routing(benchmark, sharded_plane):
     benchmark.extra_info["crypto_backend"] = backend
     benchmark.extra_info["shards"] = nshards
     benchmark.extra_info["burst_size"] = BURST
+
+
+def _supervised_plane(world, policy):
+    """A 2-shard plane over the world's AS ``a`` with an explicit
+    supervision policy (``for_assembly`` would read it from config)."""
+    as_a = world.asys("a")
+    return ShardedDataPlane.from_parts(
+        aid=as_a.aid,
+        enc_key=as_a.keys.secret.ephid_enc,
+        mac_key=as_a.keys.secret.ephid_mac,
+        hostdb=as_a.hostdb,
+        revocations=as_a.revocations,
+        nshards=2,
+        plan=as_a.shard_plan,
+        crypto_backend=_preferred_backend(),
+        packet_mac_size=world.asys("a").config.packet_mac_size,
+        supervision=policy,
+    )
+
+
+@pytest.fixture(scope="module")
+def recovery_plane():
+    """A supervised 2-shard plane armed so every odd burst to shard 0
+    SIGKILLs its worker — each measured round is one full failure cycle."""
+    backend = _preferred_backend()
+    with crypto_backend.use_backend(backend):
+        config = ApnaConfig(forwarding_shards=2, forwarding_batch_size=BURST)
+        world = build_bench_world(seed=4321, hosts_per_as=4, config=config)
+        as_a = world.asys("a")
+        frames = build_apna_pool(
+            as_a, world.hosts_a, size=512, count=BURST, dst_aid=200
+        ).wire_frames
+        plane = _supervised_plane(
+            world,
+            SupervisorPolicy(
+                reply_timeout=5.0, max_restarts=1_000_000, restart_backoff=0.001
+            ),
+        )
+        # Warm burst: every shard at seq 0, before the kill schedule bites.
+        plane.process(frames, [True] * len(frames), as_a.clock())
+    plane.install_faults(
+        FaultPlan({(0, seq): "kill" for seq in range(1, 10_000, 2)})
+    )
+    yield backend, world, plane, frames
+    plane.close()
+    world.close()
+
+
+def test_shard_recovery_time(benchmark, recovery_plane):
+    """Time-to-recover from a worker death: each round absorbs one
+    SIGKILL (drop-and-count the widowed sub-burst, respawn the worker,
+    resync hostdb/revocations over the pipe) and then carries one fully
+    clean burst — the first post-resync verdicts."""
+    backend, world, plane, frames = recovery_plane
+    as_a = world.asys("a")
+    now = as_a.clock()
+    egress = [True] * len(frames)
+
+    def kill_and_recover():
+        crashed = plane.process(frames, egress, now)  # draws the kill
+        assert any(
+            v.reason is DropReason.SHARD_FAILURE for v in crashed
+        ), "the kill schedule did not fire"
+        recovered = plane.process(frames, egress, now)  # first clean burst
+        assert all(v.action is Action.FORWARD_INTER for v in recovered)
+
+    # Pedantic: every call kills and respawns a real process — a
+    # macro-benchmark, not a calibrated microloop.
+    benchmark.pedantic(kill_and_recover, rounds=10, iterations=1)
+    benchmark.extra_info["crypto_backend"] = backend
+    benchmark.extra_info["shards"] = 2
+    benchmark.extra_info["burst_size"] = BURST
+    benchmark.extra_info["restarts_observed"] = plane.stats()["restarts"]
+    benchmark.extra_info["measures"] = (
+        "per round: detect worker death, drop-and-count its sub-burst, "
+        "respawn + state-resync the shard, then one clean 64-packet burst"
+    )
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+
+
+@pytest.fixture(scope="module", params=["blocking", "supervised"])
+def overhead_plane(request):
+    """Identical 2-shard planes, differing only in the reply wait: the
+    pre-PR-6 blocking ``recv`` (``reply_timeout=None``) vs the bounded
+    ``poll``-then-``recv`` the supervisor needs for hang detection."""
+    mode = request.param
+    backend = _preferred_backend()
+    with crypto_backend.use_backend(backend):
+        config = ApnaConfig(forwarding_shards=2, forwarding_batch_size=BURST)
+        world = build_bench_world(seed=4321, hosts_per_as=4, config=config)
+        as_a = world.asys("a")
+        frames = build_apna_pool(
+            as_a, world.hosts_a, size=512, count=BURST, dst_aid=200
+        ).wire_frames
+        plane = _supervised_plane(
+            world,
+            SupervisorPolicy(
+                reply_timeout=None if mode == "blocking" else 5.0
+            ),
+        )
+        plane.process(frames, [True] * len(frames), as_a.clock())  # warm
+    yield mode, backend, world, plane, frames
+    plane.close()
+    world.close()
+
+
+def test_supervision_steady_state_overhead(benchmark, overhead_plane):
+    """The price of being supervisable when nothing fails: the same
+    pipelined workload as the scaling curve, with and without the
+    bounded reply wait.  The two arms should be within noise of each
+    other — supervision must cost ~nothing on the happy path."""
+    mode, backend, world, plane, frames = overhead_plane
+    as_a = world.asys("a")
+    now = as_a.clock()
+    egress = [True] * len(frames)
+
+    def run_pipelined():
+        tickets = [plane.submit(frames, egress, now) for _ in range(ROUNDS)]
+        verdicts = None
+        for ticket in tickets:
+            verdicts = plane.collect(ticket)
+        assert verdicts[-1].action is Action.FORWARD_INTER
+
+    benchmark(run_pipelined)
+    benchmark.extra_info["crypto_backend"] = backend
+    benchmark.extra_info["reply_wait"] = mode
+    benchmark.extra_info["shards"] = 2
+    benchmark.extra_info["burst_size"] = BURST
+    benchmark.extra_info["packets_per_round"] = ROUNDS * BURST
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["paper_result"] = (
+        "hang detection (bounded poll) must not tax the §V-A3 curve"
+    )
 
 
 def test_sharded_ms_issuance(benchmark):

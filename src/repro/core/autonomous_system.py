@@ -229,7 +229,7 @@ class ApnaAutonomousSystem:
 
     # -- sharded data plane (paper §V-A3; see repro.sharding) --
 
-    def start_shard_pool(self):
+    def start_shard_pool(self, *, fault_plan=None):
         """Spawn the persistent worker shards and route the data plane
         through them.
 
@@ -237,6 +237,13 @@ class ApnaAutonomousSystem:
         hostdb/revocation state, and the database hooks keep the worker
         replicas in sync from then on — a revoke pushed over the infra
         bus reaches every shard before the next burst is dispatched.
+        The pool also retains the hostdb/revocation list as its
+        authoritative state source, from which the supervisor resyncs a
+        restarted worker (and the degraded fallback router reads
+        directly) — see the fault-model section of
+        :mod:`repro.sharding`.  ``fault_plan`` arms a deterministic
+        :class:`repro.faults.FaultPlan` on the new pool's data path
+        (chaos testing).
 
         Intended at world-build time (before data traffic), which is
         when :meth:`repro.topology.World.from_spec` calls it.  Replay-
@@ -260,6 +267,8 @@ class ApnaAutonomousSystem:
         from ..sharding.pool import ShardedDataPlane
 
         pool = ShardedDataPlane.for_assembly(self, self.shard_plan.nshards)
+        if fault_plan is not None:
+            pool.install_faults(fault_plan)
         self.shard_pool = pool
         self.revocations.on_add = pool.revoke_ephid
         self.hostdb.on_register = pool.register_host

@@ -78,6 +78,11 @@ class DropReason(enum.Enum):
     DST_HID_INVALID = "dst-hid-invalid"
     NOT_LOCAL_SOURCE = "src-aid-foreign"
     REPLAYED = "packet-replayed"
+    #: Dispatcher-side synthetic drop: the packet was in flight to a
+    #: worker shard that crashed/hung before replying, so its real
+    #: verdict is unknowable (:mod:`repro.sharding.supervisor` counts
+    #: every such drop).  Single-process routers never emit it.
+    SHARD_FAILURE = "shard-failure"
 
 
 #: ICMP codes attached to (incoming-side) drops so the source can learn

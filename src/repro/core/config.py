@@ -74,6 +74,32 @@ class ApnaConfig:
     #: registration order.
     shard_block: int = 1
 
+    #: Wall-clock seconds the shard dispatcher waits for any single
+    #: worker reply before declaring the worker hung and restarting it
+    #: (bounded ``Connection.poll``; see
+    #: :mod:`repro.sharding.supervisor`).  ``None`` restores the
+    #: unbounded blocking waits of the unsupervised plane — a hung
+    #: worker then wedges the dispatcher forever, so leave it bounded in
+    #: anything resembling production.
+    shard_reply_timeout: float | None = 5.0
+
+    #: Worker restarts allowed per shard before the plane stops trying
+    #: and applies its degradation policy.  ``0`` disables recovery:
+    #: the first failure immediately degrades (or poisons, see
+    #: ``shard_degraded_fallback``).
+    shard_max_restarts: int = 3
+
+    #: Base of the capped exponential backoff between restart attempts
+    #: of one shard (delay ``min(base * 2**attempt, 50 * base)``).
+    shard_restart_backoff: float = 0.05
+
+    #: Degradation policy once a shard exhausts its restart budget:
+    #: ``True`` falls back to an in-process border router over the
+    #: authoritative AS state (traffic keeps flowing, ``stats()``
+    #: reports ``degraded``), ``False`` poisons the plane — every later
+    #: submit/collect raises, the pre-supervision behaviour.
+    shard_degraded_fallback: bool = True
+
     #: Data-plane AEAD ("etm" or "gcm"); any CCA-secure scheme is allowed.
     aead_scheme: str = "etm"
 

@@ -1,0 +1,26 @@
+"""Deterministic fault injection for the self-healing shard data plane.
+
+The supervision machinery of :mod:`repro.sharding` (bounded reply
+waits, worker restart with state resync, graceful degradation) is only
+trustworthy if every one of its paths is driven on purpose, repeatably
+— not discovered by luck when a CI box hiccups.  This package is that
+driver:
+
+* :class:`FaultPlan` — a seeded ``(shard, burst_seq) -> Fault``
+  schedule, hooked into the dispatcher at the pool/wire boundary via
+  :meth:`repro.sharding.ShardedDataPlane.install_faults`;
+* :class:`Fault` — one scheduled failure: worker ``kill``, silent
+  ``hang``, worker-side ``error`` frame, ``garbage`` reply bytes, or a
+  benign reply ``delay``;
+* :func:`crash_storm_plan` — the ``crash-storm`` scenario's schedule: a
+  seeded storm mixing every kind across a run of bursts.
+
+Pair a plan with the ``crash-storm`` scenario preset
+(``repro.scenarios.build("crash-storm:4", config=...)``) for a world
+sized for chaos runs; ``tests/test_sharding_faults.py`` holds the
+acceptance suite that pins verdict-stream integrity under storms.
+"""
+
+from .plan import FAULT_KINDS, Fault, FaultPlan, crash_storm_plan
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "crash_storm_plan"]

@@ -122,6 +122,47 @@ def _chain(arg: str | None) -> TopologySpec:
     return TopologySpec.chain(_int_arg(arg, "chain:N"))
 
 
+@register(
+    "crash-storm",
+    description=(
+        "fig1 pair with N hosts per AS, sized for sharded chaos runs "
+        "(crash-storm:N, default 4); pair with a forwarding_shards config "
+        "and a repro.faults plan"
+    ),
+)
+def _crash_storm(arg: str | None) -> TopologySpec:
+    """The chaos-testing shape: the fig1 pair, densely hosted.
+
+    The storm itself is orthogonal to topology — build this world with a
+    sharded config, then arm a :func:`repro.faults.crash_storm_plan` on
+    each AS's pool::
+
+        config = replace(ApnaConfig(), forwarding_shards=2,
+                         forwarding_batch_size=8)
+        world = scenarios.build("crash-storm:4", seed=7, config=config)
+        world.asys("a").shard_pool.install_faults(
+            crash_storm_plan(2, bursts=100, seed=7))
+
+    Enough hosts per AS that every shard owns several HIDs, so kills and
+    hangs always have verdicts at stake.
+    """
+    hosts_per_as = 4 if arg is None else _int_arg(arg, "crash-storm:N")
+    if hosts_per_as < 1:
+        raise TopologyError(
+            f"crash-storm needs at least one host per AS, got {hosts_per_as}"
+        )
+    from .topology import HostSpec
+
+    spec = TopologySpec.fig1()
+    return spec.with_hosts(
+        *(
+            HostSpec(f"{asys}{i}", at=asys)
+            for asys in ("a", "b")
+            for i in range(hosts_per_as)
+        )
+    )
+
+
 @register("star", description="one transit hub with N stub leaves")
 def _star(arg: str | None) -> TopologySpec:
     return TopologySpec.star(_int_arg(arg, "star:N"))

@@ -9,22 +9,73 @@ range, fed one burst-sized batch of packed wire frames per IPC message:
 * :mod:`~repro.sharding.plan` — HID -> shard ownership and the
   IV-residue trick that lets a dispatcher route without decrypting;
 * :mod:`~repro.sharding.wire` — the binary pipe protocol (bursts in,
-  verdict vectors out; revocation/registration control frames between);
+  verdict vectors out; revocation/registration control frames between;
+  full-state resync frames for restarted workers);
 * :mod:`~repro.sharding.worker` — the worker process: a real
   :class:`~repro.core.border_router.BorderRouter` over process-local
   sharded state;
 * :mod:`~repro.sharding.pool` — :class:`ShardedDataPlane`, the
   dispatcher, plus the generic :class:`ShardProcessPool`;
+* :mod:`~repro.sharding.supervisor` — crash/hang detection, restart
+  with state resync, and the degradation decision;
 * :mod:`~repro.sharding.issuance` — E1's share-nothing MS measurement
   on the same scaffolding.
 
 Enable it deployment-wide with ``ApnaConfig(forwarding_shards=N)`` (plus
 a burst size) or ``WorldBuilder(...).sharding(N, batch_size=64)``.
+
+Fault model & recovery semantics
+--------------------------------
+
+The plane assumes workers can die (OOM kill, segfault, operator
+``kill -9``) or hang (stuck lock, unbounded syscall) at any moment, and
+that a pipe can deliver an error frame or garbage instead of a reply.
+Every reply wait is bounded (``ApnaConfig.shard_reply_timeout``): a dead
+worker surfaces immediately as pipe EOF, a hung one as a timeout.  What
+happens next, in order:
+
+1. **Drop-and-count, never guess.**  Every verdict the failed worker
+   still owes — across all in-flight bursts — is answered with
+   ``Action.DROP`` / ``DropReason.SHARD_FAILURE`` and tallied in
+   ``stats()`` (``shard-failure``, ``dropped_bursts``,
+   ``dropped_packets``).  Verdicts for packets the failure did not touch
+   are exact; no reply is ever paired with the wrong burst (each restart
+   replaces the pipe, discarding any stale queued replies).
+
+2. **Restart with resync.**  The worker is respawned from a *bare* spec
+   and the authoritative AS state is replayed into it in one
+   ``MSG_RESYNC`` frame before traffic resumes.  What survives exactly:
+   the shard's owned host records and MAC keys, the replicated live-HID
+   view, and the revocation list — all reread from the AS's own
+   ``HostDatabase`` / ``RevocationList`` at restart time, so even an
+   update whose control broadcast died mid-send arrives via the resync.
+   What does not survive: the shard's **replay-filter history** (packets
+   first seen up to one rotation window before the crash may pass once
+   more — the same bounded two-window horizon the filter itself
+   guarantees, restarted) and the shard's **verdict counters** (the
+   supervision ledger in ``stats()`` keeps its own).  Restart attempts
+   back off exponentially (``shard_restart_backoff``, capped) and each
+   shard has a lifetime budget of ``shard_max_restarts`` attempts.
+
+3. **Degrade, don't refuse.**  A shard that exhausts its budget ends the
+   pooled plane: with ``shard_degraded_fallback=True`` (default) the
+   plane falls back to a single in-process
+   :class:`~repro.core.border_router.BorderRouter` over the
+   authoritative state and keeps serving exact verdicts — ``stats()``
+   then reports ``degraded: 1`` and per-shard counters are gone.  With
+   the fallback disabled (or when the plane was built without an
+   authoritative state source), the plane *poisons* itself exactly as
+   the unsupervised iteration did: every later call raises
+   :class:`ShardError` rather than risk mispaired verdicts.
+
+:mod:`repro.faults` drives every one of these paths deterministically;
+``tests/test_sharding_faults.py`` pins the semantics.
 """
 
 from .issuance import run_issuance_shards, split_requests
 from .plan import ShardPlan
-from .pool import ShardError, ShardProcessPool, ShardedDataPlane
+from .pool import ShardError, ShardProcessPool, ShardTimeout, ShardedDataPlane
+from .supervisor import ShardStateSource, ShardSupervisor, SupervisorPolicy
 from .worker import ShardHostView, ShardSpec, ShardState, data_plane_worker
 
 __all__ = [
@@ -34,7 +85,11 @@ __all__ = [
     "ShardProcessPool",
     "ShardSpec",
     "ShardState",
+    "ShardStateSource",
+    "ShardSupervisor",
+    "ShardTimeout",
     "ShardedDataPlane",
+    "SupervisorPolicy",
     "data_plane_worker",
     "run_issuance_shards",
     "split_requests",

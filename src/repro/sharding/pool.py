@@ -27,28 +27,53 @@ rate (sized by ``replay_filter_bits``), and sharding only ever lowers
 it.  The perf bar — shards stacking on top of the burst loop's
 amortisation, super-linear against the scalar loop — is measured by
 ``benchmarks/bench_sharding.py``.
+
+Failure bar: the plane is *self-healing*.  Every reply wait is bounded,
+a dead or hung worker is restarted and resynced from the authoritative
+AS state (:mod:`repro.sharding.supervisor`), verdicts owed by a failed
+worker are dropped-and-counted (never guessed), and a shard that cannot
+be revived degrades the plane to an in-process border router instead of
+refusing traffic.  The package docstring's fault-model section states
+exactly what survives a restart; ``tests/test_sharding_faults.py``
+drives every path with deterministic :mod:`repro.faults` storms.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from collections import deque
 from typing import Callable, Sequence
 
-from ..core.border_router import InterVerdicts, Verdict
-from ..core.ephid import CIPHERTEXT_SIZE, IV_SIZE
+from ..core.border_router import (
+    Action,
+    BorderRouter,
+    DropReason,
+    InterVerdicts,
+    Verdict,
+)
+from ..core.ephid import CIPHERTEXT_SIZE, IV_SIZE, EphIdCodec
 from ..core.errors import ApnaError
+from ..core.replay_filter import RotatingReplayFilter
 from ..wire.apna import (
     AID_SIZE,
     EPHID_SIZE,
     HEADER_SIZE,
     HEADER_SIZE_WITH_NONCE,
+    ApnaPacket,
 )
 from . import wire
 from .plan import ShardPlan
-from .worker import ShardSpec, data_plane_worker
+from .supervisor import ShardStateSource, ShardSupervisor, SupervisorPolicy
+from .worker import ShardSpec, _SettableClock, data_plane_worker
 
-__all__ = ["ShardError", "ShardProcessPool", "ShardedDataPlane"]
+__all__ = [
+    "ShardError",
+    "ShardTimeout",
+    "ShardProcessPool",
+    "ShardedDataPlane",
+]
 
 #: Wire offsets into a packed APNA header, derived from the canonical
 #: Fig. 7 / Fig. 6 layout constants: the source EphID's clear IV sits
@@ -62,9 +87,24 @@ _DST_AID = slice(AID_SIZE + 2 * EPHID_SIZE, 2 * AID_SIZE + 2 * EPHID_SIZE)
 _MIN_FRAME = HEADER_SIZE
 _MIN_FRAME_WITH_NONCE = HEADER_SIZE_WITH_NONCE
 
+#: The synthetic verdict a packet gets when its worker shard failed
+#: before replying: the packet is dropped and accounted, never given a
+#: guessed verdict.
+_SHARD_FAILURE = Verdict(Action.DROP, reason=DropReason.SHARD_FAILURE)
+
 
 class ShardError(ApnaError):
-    """A worker shard reported a failure (its traceback is the message)."""
+    """A worker shard failed; the message carries the cause and, where
+    known, :attr:`shard` names the failing worker."""
+
+    def __init__(self, message: str, *, shard: "int | None" = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardTimeout(ShardError):
+    """No reply within the bounded wait: the worker is hung (or died
+    without closing its pipe — practically impossible, but covered)."""
 
 
 def _default_start_method() -> str:
@@ -80,9 +120,17 @@ class ShardProcessPool:
 
     Generic scaffolding shared by the data plane and the sharded MS
     issuance runner (:mod:`repro.sharding.issuance`): it only spawns,
-    addresses and tears down workers — message semantics belong to the
-    caller.  Workers are daemonic, so an abandoned pool cannot outlive
-    the interpreter even if :meth:`close` is never called.
+    addresses, *restarts* and tears down workers — message semantics
+    belong to the caller.  Workers are daemonic, so an abandoned pool
+    cannot outlive the interpreter even if :meth:`close` is never
+    called.
+
+    Failure handling at this layer is purely translation: raw
+    ``EOFError``/``BrokenPipeError``/``OSError`` from ``Connection``
+    calls become :class:`ShardError` carrying the shard index and a
+    liveness hint (``exitcode``), and a bounded :meth:`recv_bytes` wait
+    that expires becomes :class:`ShardTimeout`.  *Reacting* to failures
+    (restart, resync, degrade) is the supervisor's job.
     """
 
     def __init__(
@@ -95,54 +143,172 @@ class ShardProcessPool:
     ) -> None:
         if not specs:
             raise ValueError("a pool needs at least one worker spec")
-        ctx = multiprocessing.get_context(start_method or _default_start_method())
+        self._ctx = multiprocessing.get_context(
+            start_method or _default_start_method()
+        )
+        self._worker = worker
+        self._name = name
         self._procs = []
         self._conns = []
         self._closed = False
         for i, spec in enumerate(specs):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=worker, args=(child, spec), daemon=True, name=f"{name}-{i}"
-            )
-            proc.start()
-            child.close()
+            proc, conn = self._spawn(i, spec)
             self._procs.append(proc)
-            self._conns.append(parent)
+            self._conns.append(conn)
+
+    def _spawn(self, index: int, spec):
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=self._worker,
+            args=(child, spec),
+            daemon=True,
+            name=f"{self._name}-{index}",
+        )
+        proc.start()
+        child.close()
+        return proc, parent
 
     def __len__(self) -> int:
         return len(self._procs)
 
+    def _failure(self, shard: int, what: str) -> str:
+        proc = self._procs[shard]
+        if proc.is_alive():
+            hint = "worker alive but unresponsive"
+        else:
+            hint = f"worker dead (exitcode {proc.exitcode})"
+        return f"shard {shard}: {what} — {hint}"
+
     def send_bytes(self, shard: int, msg: bytes) -> None:
         if self._closed:
             raise ShardError("pool is closed")
-        self._conns[shard].send_bytes(msg)
+        try:
+            self._conns[shard].send_bytes(msg)
+        except (BrokenPipeError, EOFError, OSError, ValueError) as exc:
+            raise ShardError(
+                self._failure(shard, f"send failed ({exc!r})"), shard=shard
+            ) from exc
 
-    def recv_bytes(self, shard: int) -> bytes:
-        msg = self._conns[shard].recv_bytes()
+    def recv_bytes(self, shard: int, *, timeout: "float | None" = None) -> bytes:
+        """One reply from ``shard``, waiting at most ``timeout`` seconds.
+
+        ``timeout=None`` blocks forever (the pre-supervision behaviour;
+        still wakes on pipe EOF when the worker dies).  A worker-sent
+        error frame is raised as :class:`ShardError` here so no caller
+        can mistake it for a payload.
+        """
+        if self._closed:
+            raise ShardError("pool is closed")
+        conn = self._conns[shard]
+        try:
+            if timeout is not None and not conn.poll(timeout):
+                raise ShardTimeout(
+                    self._failure(shard, f"no reply within {timeout:g}s"),
+                    shard=shard,
+                )
+            msg = conn.recv_bytes()
+        except ShardTimeout:
+            raise
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise ShardError(
+                self._failure(shard, f"reply pipe failed ({exc!r})"),
+                shard=shard,
+            ) from exc
         if msg and msg[0] == wire.MSG_ERROR:
-            raise ShardError(wire.decode_error(msg))
+            raise ShardError(wire.decode_error(msg), shard=shard)
         return msg
 
     def broadcast(self, msg: bytes) -> None:
         for shard in range(len(self._conns)):
             self.send_bytes(shard, msg)
 
+    def is_alive(self, shard: int) -> bool:
+        return self._procs[shard].is_alive()
+
+    def worker(self, shard: int):
+        """The current :class:`multiprocessing.Process` in a slot (its
+        identity changes on restart — fault injection keys on that)."""
+        return self._procs[shard]
+
+    def kill_worker(self, shard: int) -> None:
+        """SIGKILL one worker and reap it (fault injection / teardown)."""
+        proc = self._procs[shard]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5.0)
+
+    def restart(self, shard: int, spec) -> None:
+        """Replace one worker slot with a freshly spawned process.
+
+        The old pipe is closed and the old process escalated through
+        ``terminate`` → ``kill``; the new worker starts from ``spec``
+        with a brand-new pipe, so no stale reply can leak into the new
+        stream.
+        """
+        if self._closed:
+            raise ShardError("pool is closed")
+        old_proc = self._procs[shard]
+        try:
+            self._conns[shard].close()
+        except OSError:
+            pass
+        if old_proc.is_alive():
+            old_proc.terminate()
+            old_proc.join(timeout=1.0)
+        if old_proc.is_alive():
+            old_proc.kill()
+            old_proc.join(timeout=5.0)
+        proc, conn = self._spawn(shard, spec)
+        self._procs[shard] = proc
+        self._conns[shard] = conn
+
+    @staticmethod
+    def _send_best_effort(conn, msg: bytes) -> None:
+        """A stop message must never block ``close()``: a hung worker
+        with a full pipe would otherwise wedge teardown forever, so the
+        fd goes non-blocking for the attempt and any failure (including
+        a partial write — the pipe is being abandoned) is ignored."""
+        try:
+            fd = conn.fileno()
+            os.set_blocking(fd, False)
+        except (OSError, ValueError):
+            return
+        try:
+            conn.send_bytes(msg)
+        except (BlockingIOError, BrokenPipeError, OSError, ValueError):
+            pass
+        finally:
+            try:
+                os.set_blocking(fd, True)
+            except OSError:
+                pass
+
     def close(self, *, stop_msg: "bytes | None" = None) -> None:
+        """Stop every worker without ever blocking on one.
+
+        Best-effort non-blocking stop message, then ``join`` →
+        ``terminate`` → ``kill`` escalation with bounded waits at each
+        step, so no zombie worker survives a test run — not even one
+        wedged with a full pipe.
+        """
         if self._closed:
             return
         self._closed = True
         for conn in self._conns:
             try:
                 if stop_msg is not None:
-                    conn.send_bytes(stop_msg)
+                    self._send_best_effort(conn, stop_msg)
                 conn.close()
             except (OSError, ValueError):
                 pass
         for proc in self._procs:
-            proc.join(timeout=5.0)
+            proc.join(timeout=2.0)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
 
     @property
     def closed(self) -> bool:
@@ -157,8 +323,72 @@ class _Ticket:
 
     def __init__(self, size: int) -> None:
         self.verdicts: "list[Verdict | None]" = [None] * size
-        #: (shard, indices) pairs in send order; one reply expected each.
-        self.pending: "list[tuple[int, list[int]]]" = []
+        #: (shard, indices, burst_seq) in send order; one reply each.
+        self.pending: "list[tuple[int, list[int], int]]" = []
+
+
+class _ActiveFaults:
+    """A :class:`repro.faults.FaultPlan` armed against one plane's pool.
+
+    The hooks sit exactly at the pool/wire boundary of the *data* path
+    (burst send, burst reply); control traffic and the supervisor's own
+    restart/resync exchange are never fault-injected — recovery itself
+    is assumed reliable, failures are what is being modelled.
+    """
+
+    #: An ``error`` fault truncates the burst to its fixed header, so
+    #: the worker's decoder raises and it answers with an error frame.
+    _TRUNCATE_AT = 11
+    #: A ``garbage`` fault replaces the real reply with these bytes
+    #: (first byte deliberately no known message kind).
+    _GARBAGE = b"\xee\xfa\x11\xed" * 4
+
+    def __init__(self, plan, pool: ShardProcessPool) -> None:
+        self.plan = plan
+        self._pool = pool
+        #: shard -> the Process object that drew a ``hang``.  A really
+        #: hung worker answers *nothing* from that point on, so every
+        #: later burst to the same incarnation is swallowed too — else a
+        #: live worker's reply to burst N+1 would be paired with hung
+        #: burst N.  A restart installs a new Process and clears it.
+        self._hung: "dict[int, object]" = {}
+
+    def _is_hung(self, shard: int) -> bool:
+        proc = self._hung.get(shard)
+        if proc is None:
+            return False
+        if self._pool.worker(shard) is not proc:
+            del self._hung[shard]  # supervisor replaced the incarnation
+            return False
+        return True
+
+    def on_burst_send(self, shard: int, seq: int, message: bytes) -> "bytes | None":
+        if self._is_hung(shard):
+            return None
+        fault = self.plan.fault_for(shard, seq)
+        if fault is None or fault.kind not in ("kill", "hang", "error"):
+            return message
+        self.plan.mark_injected(shard, seq, fault.kind)
+        if fault.kind == "kill":
+            self._pool.kill_worker(shard)
+            return message  # the send then fails against the dead worker
+        if fault.kind == "hang":
+            self._hung[shard] = self._pool.worker(shard)
+            return None  # swallowed: the worker never sees the burst
+        return message[: self._TRUNCATE_AT]  # "error"
+
+    def before_burst_reply(self, shard: int, seq: int) -> None:
+        fault = self.plan.fault_for(shard, seq)
+        if fault is not None and fault.kind == "delay":
+            self.plan.mark_injected(shard, seq, "delay")
+            time.sleep(fault.delay)
+
+    def on_burst_reply(self, shard: int, seq: int, msg: bytes) -> bytes:
+        fault = self.plan.fault_for(shard, seq)
+        if fault is not None and fault.kind == "garbage":
+            self.plan.mark_injected(shard, seq, "garbage")
+            return self._GARBAGE
+        return msg
 
 
 class ShardedDataPlane:
@@ -171,10 +401,14 @@ class ShardedDataPlane:
         *,
         aid: int,
         start_method: "str | None" = None,
+        supervision: "SupervisorPolicy | None" = None,
+        state_source: "ShardStateSource | None" = None,
     ) -> None:
         self.plan = plan
         self.aid = aid
         self.nshards = len(specs)
+        self._specs = list(specs)
+        self._with_nonce = specs[0].with_nonce
         #: What a routable frame must carry in this deployment: the base
         #: header, plus the nonce when replay protection is on — a runt
         #: is rejected here (burst untouched) rather than crashing a
@@ -185,13 +419,31 @@ class ShardedDataPlane:
         self._pool = ShardProcessPool(
             data_plane_worker, specs, name=f"apna-br-{aid}", start_method=start_method
         )
+        self._policy = supervision or SupervisorPolicy()
+        self._state_source = state_source
+        self.supervisor = ShardSupervisor(
+            self._pool, plan, self._specs, state_source, self._policy
+        )
         self._tickets: "deque[_Ticket]" = deque()
         self._in_flight_verdicts = 0
-        #: Set when a shard reply went missing or errored mid-burst: the
-        #: reply streams can no longer be trusted to line up with
-        #: tickets, so the plane refuses further work instead of
-        #: silently handing later bursts earlier bursts' verdicts.
+        #: Per-shard count of bursts dispatched — the sequence numbers
+        #: fault plans key on and failure reports cite.
+        self._burst_seq = [0] * self.nshards
+        #: Set when the plane can no longer serve at all: recovery is
+        #: impossible (or disabled) *and* degradation is off, so the
+        #: reply streams cannot be trusted to line up with tickets and
+        #: the plane refuses further work instead of silently handing
+        #: later bursts earlier bursts' verdicts.
         self._broken: "str | None" = None
+        #: Set (to the triggering cause) once the plane has fallen back
+        #: to in-process forwarding; the pool is gone from then on.
+        self.degraded: "str | None" = None
+        self._fallback: "BorderRouter | None" = None
+        self._fallback_clock: "_SettableClock | None" = None
+        #: Dropped-and-counted work owed by failed workers.
+        self.dropped_bursts = 0
+        self.dropped_packets = 0
+        self._faults: "_ActiveFaults | None" = None
         #: Dispatcher-side transit forwarding (no shard round-trip).
         self.forwarded_inter = 0
         self._inter_verdicts = InterVerdicts()
@@ -219,13 +471,17 @@ class ShardedDataPlane:
         replay_window: "float | None" = None,
         replay_bits: int = 1 << 20,
         start_method: "str | None" = None,
+        supervision: "SupervisorPolicy | None" = None,
     ) -> "ShardedDataPlane":
         """Build a pool from explicit AS parts (shared keys, sharded state).
 
         ``hostdb`` / ``revocations`` are snapshotted into the worker
         specs; later changes propagate only through
         :meth:`register_host` / :meth:`revoke_ephid` / :meth:`revoke_hid`
-        (the AS assembly wires those to its database hooks).
+        (the AS assembly wires those to its database hooks).  They are
+        also retained as the *authoritative* state source: a restarted
+        worker is resynced from them, and the degraded in-process
+        fallback reads them directly.
         """
         plan = plan or ShardPlan(nshards)
         if plan.nshards != nshards:
@@ -259,7 +515,14 @@ class ShardedDataPlane:
                     revoked_ephids=revoked_snapshot,
                 )
             )
-        return cls(specs, plan, aid=aid, start_method=start_method)
+        return cls(
+            specs,
+            plan,
+            aid=aid,
+            start_method=start_method,
+            supervision=supervision,
+            state_source=ShardStateSource(hostdb, revocations),
+        )
 
     @classmethod
     def for_assembly(
@@ -275,6 +538,9 @@ class ShardedDataPlane:
         ``config.forwarding_shards`` so every issued EphID's IV is pinned
         to its owner shard — without pinning, an authentic packet could
         be routed to a shard that does not hold its host's MAC keys.
+        The assembly's config also supplies the supervision policy
+        (``shard_reply_timeout`` / ``shard_max_restarts`` /
+        ``shard_restart_backoff`` / ``shard_degraded_fallback``).
         """
         config = assembly.config
         nshards = nshards or max(1, config.forwarding_shards)
@@ -311,7 +577,15 @@ class ShardedDataPlane:
             replay_window=replay_window,
             replay_bits=config.replay_filter_bits,
             start_method=start_method,
+            supervision=SupervisorPolicy.from_config(config),
         )
+
+    # -- fault injection ----------------------------------------------------
+
+    def install_faults(self, plan) -> None:
+        """Arm a :class:`repro.faults.FaultPlan` on this plane's data
+        path (chaos testing; see :mod:`repro.faults`)."""
+        self._faults = _ActiveFaults(plan, self._pool) if plan is not None else None
 
     # -- routing -----------------------------------------------------------
 
@@ -360,6 +634,8 @@ class ShardedDataPlane:
                     f"deployment's {self._min_frame}-byte APNA header, "
                     "cannot route"
                 )
+        if self.degraded is not None:
+            return self._submit_degraded(frames, egress, now)
         # Classify without side effects: transit short-circuits vs
         # shard-bound sub-bursts.
         ticket = _Ticket(len(frames))
@@ -400,9 +676,7 @@ class ShardedDataPlane:
         # Encode every sub-burst before committing any counter or
         # sending anything: an encode failure (e.g. a sub-burst
         # overflowing the u16 count field) must reject the burst with
-        # no state change and nothing on the wire.  A *send* failure
-        # later means some shard may already hold work whose reply will
-        # never be collected, so the plane is poisoned instead.
+        # no state change and nothing on the wire.
         for shard, (indices, _, _) in by_shard.items():
             if len(indices) > 0xFFFF:
                 raise ShardError(
@@ -417,45 +691,196 @@ class ShardedDataPlane:
         for i, dst_aid in transit:
             self.forwarded_inter += 1
             ticket.verdicts[i] = self._inter_verdicts[dst_aid]
-        try:
-            for shard, indices, message in messages:
-                self._pool.send_bytes(shard, message)
-                ticket.pending.append((shard, indices))
-                self._in_flight_verdicts += len(indices)
-        except Exception as exc:
-            self._broken = f"burst dispatch failed mid-send: {exc}"
-            raise
+        # A send failure no longer poisons the plane: the sub-burst that
+        # never reached its worker is dropped-and-counted, the worker is
+        # restarted (or the plane degraded), and the rest of the burst
+        # proceeds.
+        for shard, indices, message in messages:
+            if self.degraded is not None:
+                # Degraded mid-loop by an earlier send failure: the rest
+                # of the burst was never delivered anywhere — drop it.
+                self._drop_subburst(ticket, indices)
+                continue
+            seq = self._burst_seq[shard]
+            self._burst_seq[shard] += 1
+            if self._faults is not None:
+                message = self._faults.on_burst_send(shard, seq, message)
+            try:
+                if message is not None:
+                    self._pool.send_bytes(shard, message)
+            except ShardError as exc:
+                self._drop_subburst(ticket, indices)
+                self._shard_failed(
+                    shard, f"burst dispatch failed mid-send: {exc}"
+                )
+                self._check_usable()
+                continue
+            ticket.pending.append((shard, indices, seq))
+            self._in_flight_verdicts += len(indices)
+        self._tickets.append(ticket)
+        return ticket
+
+    def _submit_degraded(self, frames, egress, now: float) -> _Ticket:
+        """Degraded mode: the whole burst through the in-process
+        fallback router, verdicts complete at submit time."""
+        ticket = _Ticket(len(frames))
+        packets = []
+        for i, frame in enumerate(frames):
+            try:
+                packets.append(
+                    ApnaPacket.from_wire(frame, with_nonce=self._with_nonce)
+                )
+            except Exception as exc:
+                raise ShardError(
+                    f"frame {i} is unparseable ({exc!r}); burst rejected"
+                ) from exc
+        assert self._fallback is not None and self._fallback_clock is not None
+        self._fallback_clock.now = now
+        ticket.verdicts[:] = self._fallback.process_mixed_batch(
+            packets, [bool(out) for out in egress]
+        )
         self._tickets.append(ticket)
         return ticket
 
     def collect(self, ticket: _Ticket) -> "list[Verdict]":
         """Merge a burst's shard replies back into arrival order.
 
-        If a shard reports an error (or its reply cannot be read), the
-        plane is poisoned: reply frames may remain queued out of step
-        with the outstanding tickets, so every later ``submit``/
-        ``collect`` raises instead of mispairing verdicts with packets.
+        A shard that cannot deliver its reply (death, hang past the
+        reply timeout, error frame, undecodable bytes) forfeits every
+        verdict it still owes — those packets are dropped-and-counted
+        (``DropReason.SHARD_FAILURE``) across all in-flight tickets —
+        and the worker is restarted with a state resync.  Only when
+        recovery *and* degradation are both impossible does the plane
+        poison itself as it originally did.
         """
         self._check_usable()
         if not self._tickets or self._tickets[0] is not ticket:
             raise ShardError("bursts must be collected in submission order")
         self._tickets.popleft()
-        try:
-            for shard, indices in ticket.pending:
-                verdicts = wire.decode_verdicts(self._pool.recv_bytes(shard))
-                for i, verdict in zip(indices, verdicts):
-                    ticket.verdicts[i] = verdict
-                self._in_flight_verdicts -= len(indices)
-        except Exception as exc:
-            self._broken = f"shard reply lost mid-burst: {exc}"
-            raise
+        while ticket.pending:
+            shard, indices, seq = ticket.pending[0]
+            try:
+                if self._faults is not None:
+                    self._faults.before_burst_reply(shard, seq)
+                msg = self._pool.recv_bytes(
+                    shard, timeout=self._policy.reply_timeout
+                )
+                if self._faults is not None:
+                    msg = self._faults.on_burst_reply(shard, seq, msg)
+                verdicts = wire.decode_verdicts(msg)
+                if len(verdicts) != len(indices):
+                    raise ShardError(
+                        f"shard {shard}: reply carried {len(verdicts)} "
+                        f"verdicts for a {len(indices)}-packet sub-burst",
+                        shard=shard,
+                    )
+            except ShardError as exc:
+                self._shard_failed(
+                    shard,
+                    f"reply for burst #{seq} lost: {exc}",
+                    extra_ticket=ticket,
+                )
+                self._check_usable()
+                continue
+            except Exception as exc:
+                self._shard_failed(
+                    shard,
+                    f"reply for burst #{seq} undecodable ({exc!r})",
+                    extra_ticket=ticket,
+                )
+                self._check_usable()
+                continue
+            ticket.pending.pop(0)
+            for i, verdict in zip(indices, verdicts):
+                ticket.verdicts[i] = verdict
+            self._in_flight_verdicts -= len(indices)
         return ticket.verdicts  # type: ignore[return-value]  # all slots filled
+
+    # -- failure handling ---------------------------------------------------
+
+    def _drop_subburst(
+        self, ticket: _Ticket, indices: "list[int]", *, in_flight: bool = False
+    ) -> None:
+        """One sub-burst's verdicts are unrecoverable: drop and account."""
+        for i in indices:
+            ticket.verdicts[i] = _SHARD_FAILURE
+        self.dropped_bursts += 1
+        self.dropped_packets += len(indices)
+        if in_flight:
+            self._in_flight_verdicts -= len(indices)
+
+    def _drop_pending_for(self, shard: int, tickets) -> None:
+        for ticket in tickets:
+            kept = []
+            for entry in ticket.pending:
+                if entry[0] == shard:
+                    self._drop_subburst(ticket, entry[1], in_flight=True)
+                else:
+                    kept.append(entry)
+            ticket.pending[:] = kept
+
+    def _shard_failed(
+        self, shard: int, cause: str, *, extra_ticket: "_Ticket | None" = None
+    ) -> None:
+        """One worker's reply stream is gone.  Drop everything it still
+        owes (its replies can no longer be paired with requests), then
+        restart it — or, once its restart budget is spent, degrade to
+        in-process forwarding (or poison, per policy)."""
+        self.supervisor.record_failure(shard, cause)
+        tickets = list(self._tickets)
+        if extra_ticket is not None:
+            tickets.append(extra_ticket)
+        self._drop_pending_for(shard, tickets)
+        if self.supervisor.restart(shard):
+            return
+        if self._policy.degrade_to_inline and self._state_source is not None:
+            self._degrade(f"shard {shard} unrecoverable: {cause}", tickets)
+        else:
+            self._broken = f"shard {shard} unrecoverable: {cause}"
+
+    def _degrade(self, cause: str, tickets) -> None:
+        """Fall back to a single in-process border router over the
+        authoritative AS state.
+
+        Every still-pending sub-burst — healthy shards included — is
+        dropped-and-counted: their replies may well be queued, but a
+        plane that has decided its pool is unreliable does not gamble on
+        reading them.  Traffic keeps flowing through the fallback from
+        the very next burst; ``stats()`` reports ``degraded``.
+        """
+        for ticket in tickets:
+            for _, indices, _ in ticket.pending:
+                self._drop_subburst(ticket, indices, in_flight=True)
+            ticket.pending.clear()
+        spec = self._specs[0]
+        replay_filter = None
+        if spec.replay_window is not None:
+            replay_filter = RotatingReplayFilter(
+                window=spec.replay_window,
+                bits_per_generation=spec.replay_bits,
+            )
+        clock = _SettableClock()
+        assert self._state_source is not None
+        self._fallback = BorderRouter(
+            self.aid,
+            EphIdCodec(spec.ephid_enc_key, spec.ephid_mac_key),
+            self._state_source.hostdb,
+            self._state_source.revocations,
+            clock,
+            packet_mac_size=spec.packet_mac_size,
+            replay_filter=replay_filter,
+        )
+        self._fallback_clock = clock
+        self.degraded = cause
+        self._pool.close(stop_msg=bytes([wire.MSG_STOP]))
 
     def _check_usable(self) -> None:
         if self._broken is not None:
             raise ShardError(
                 f"data plane is poisoned ({self._broken}); rebuild the pool"
             )
+        if self.degraded is None and self._pool.closed:
+            raise ShardError("data plane is closed")
 
     def process(
         self,
@@ -491,33 +916,48 @@ class ShardedDataPlane:
     def register_host(self, record) -> None:
         """Announce a newly registered host: keys to the owning shard,
         liveness to everyone else."""
+        if self.degraded is not None:
+            return  # the fallback reads the live hostdb directly
         self._check_no_inflight("host registrations")
         owner = self.plan.owner_of(record.hid)
-        try:
-            for shard in range(self.nshards):
-                self._pool.send_bytes(
-                    shard,
-                    wire.encode_register_host(
-                        record.hid,
-                        owned=shard == owner,
-                        control=record.keys.control,
-                        packet_mac=record.keys.packet_mac,
-                    ),
-                )
-        except Exception as exc:
-            self._broken = f"control broadcast failed mid-send: {exc}"
-            raise
+        for shard in range(self.nshards):
+            if self.degraded is not None:
+                return
+            self._control_send(
+                shard,
+                wire.encode_register_host(
+                    record.hid,
+                    owned=shard == owner,
+                    control=record.keys.control,
+                    packet_mac=record.keys.packet_mac,
+                ),
+            )
 
     def _control_broadcast(self, msg: bytes) -> None:
-        """Broadcast a control frame; a partial delivery leaves the
-        shards' replicated views divergent, so it poisons the plane the
-        same way a lost burst reply does."""
+        """Broadcast a control frame to every shard, recovering any
+        shard whose pipe fails mid-send.
+
+        The authoritative state (hostdb / revocation list) is always
+        updated *before* its hook fires, so a worker restarted here
+        receives the very update that failed to send as part of its
+        resync — replicas cannot diverge through this path.
+        """
+        if self.degraded is not None:
+            return  # the fallback reads the live revocation list directly
         self._check_no_inflight("control messages")
+        for shard in range(self.nshards):
+            if self.degraded is not None:
+                return
+            self._control_send(shard, msg)
+
+    def _control_send(self, shard: int, msg: bytes) -> None:
         try:
-            self._pool.broadcast(msg)
-        except Exception as exc:
-            self._broken = f"control broadcast failed mid-send: {exc}"
-            raise
+            self._pool.send_bytes(shard, msg)
+        except ShardError as exc:
+            # A successful restart already resynced the full state —
+            # resending this frame is unnecessary (and would double-add).
+            self._shard_failed(shard, f"control send failed: {exc}")
+            self._check_usable()
 
     def _check_no_inflight(self, what: str) -> None:
         """Control traffic requires an empty ticket queue.
@@ -537,32 +977,74 @@ class ShardedDataPlane:
     # -- observability -------------------------------------------------------
 
     def shard_stats(self) -> "list[dict[str, int]]":
-        """Per-shard counter snapshots (synchronises all control traffic)."""
+        """Per-shard counter snapshots (synchronises all control traffic).
+
+        A shard that fails to answer is restarted like any other failure
+        and the call raises — its counters died with the worker, so
+        there is nothing truthful to return for it.  A degraded plane
+        has no shards left; use :meth:`stats`.
+        """
         self._check_usable()
+        if self.degraded is not None:
+            raise ShardError(
+                "plane is degraded to in-process forwarding; per-shard "
+                "counters are gone (aggregate stats() still works)"
+            )
         if self._tickets:
             raise ShardError("collect in-flight bursts before reading stats")
+        results = []
         for shard in range(self.nshards):
-            self._pool.send_bytes(shard, bytes([wire.MSG_STATS]))
-        try:
-            return [
-                wire.decode_stats(self._pool.recv_bytes(shard))
-                for shard in range(self.nshards)
-            ]
-        except Exception as exc:
-            self._broken = f"stats reply lost: {exc}"
-            raise
+            try:
+                self._pool.send_bytes(shard, bytes([wire.MSG_STATS]))
+                results.append(
+                    wire.decode_stats(
+                        self._pool.recv_bytes(
+                            shard, timeout=self._policy.reply_timeout
+                        )
+                    )
+                )
+            except ShardError as exc:
+                self._shard_failed(shard, f"stats reply lost: {exc}")
+                self._check_usable()
+                raise ShardError(
+                    f"shard {shard}: stats unavailable ({exc}); counters "
+                    "died with the worker"
+                , shard=shard) from exc
+        return results
 
     def stats(self) -> "dict[str, int]":
-        """Aggregate counters: shard sums plus dispatcher-side transit."""
+        """Aggregate counters: shard sums (or, degraded, the fallback
+        router's counters) plus dispatcher-side transit and the
+        supervision ledger (``restarts`` / ``dropped_bursts`` /
+        ``dropped_packets`` / ``degraded``)."""
         totals: "dict[str, int]" = {field: 0 for field in wire.STATS_FIELDS}
-        for shard in self.shard_stats():
-            for field, value in shard.items():
-                totals[field] += value
+        if self.degraded is not None:
+            router = self._fallback
+            assert router is not None
+            for reason, count in router.drops.items():
+                totals[reason.value] += count
+            totals["forwarded_inter"] += router.forwarded_inter
+            totals["forwarded_intra"] += router.forwarded_intra
+            if router.replay_filter is not None:
+                totals["replay_passed"] += router.replay_filter.passed
+                totals["replay_replays"] += router.replay_filter.replays
+                totals["replay_rotations"] += router.replay_filter.rotations
+        else:
+            for shard in self.shard_stats():
+                for field, value in shard.items():
+                    totals[field] += value
         totals["forwarded_inter"] += self.forwarded_inter
+        totals[DropReason.SHARD_FAILURE.value] += self.dropped_packets
+        totals["restarts"] = self.supervisor.total_restarts
+        totals["dropped_bursts"] = self.dropped_bursts
+        totals["dropped_packets"] = self.dropped_packets
+        totals["degraded"] = 0 if self.degraded is None else 1
         return totals
 
     def barrier(self) -> None:
         """Wait until every shard has drained its control queue."""
+        if self.degraded is not None:
+            return
         self.shard_stats()
 
     # -- lifecycle -----------------------------------------------------------
@@ -581,7 +1063,14 @@ class ShardedDataPlane:
         self.close()
 
     def __repr__(self) -> str:
+        if self.degraded is not None:
+            state = "degraded"
+        elif self._broken is not None:
+            state = "poisoned"
+        elif self.closed:
+            state = "closed"
+        else:
+            state = "running"
         return (
-            f"<ShardedDataPlane aid={self.aid} shards={self.nshards} "
-            f"{'closed' if self.closed else 'running'}>"
+            f"<ShardedDataPlane aid={self.aid} shards={self.nshards} {state}>"
         )

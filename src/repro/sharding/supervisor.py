@@ -1,0 +1,220 @@
+"""Worker supervision: crash/hang detection, restart with state resync,
+and the degradation decision.
+
+The unsupervised plane of the first sharded iteration had exactly one
+answer to any worker failure — poison itself and refuse all further
+traffic.  That is the right last resort (a desynchronised reply stream
+must never mispair verdicts with packets), but a terrible first one: a
+production AS cannot rebuild its data plane by hand every time one
+process dies.  This module supplies the layers in between:
+
+1. **Detection** — every reply wait is a bounded ``Connection.poll``
+   plus a ``Process.is_alive`` liveness probe (see
+   :meth:`repro.sharding.pool.ShardProcessPool.recv_bytes`), so a dead
+   worker surfaces as an immediate pipe EOF and a hung one as a timeout,
+   never as a dispatcher wedged forever.
+2. **Recovery** — :meth:`ShardSupervisor.restart` kills the failed
+   worker, spawns a fresh one from a *bare* spec (keys and deployment
+   config only, no state) and replays the authoritative AS state into it
+   over the existing wire protocol: one :data:`repro.sharding.wire.
+   MSG_RESYNC` frame carrying the shard's owned host records, the
+   replicated live-HID view and the revocation snapshot, acknowledged by
+   the worker before any traffic resumes.  Attempts back off with a
+   capped exponential delay.
+3. **Degradation** — once a shard exhausts its restart budget
+   (:attr:`SupervisorPolicy.max_restarts`), the plane stops gambling:
+   with :attr:`SupervisorPolicy.degrade_to_inline` it falls back to a
+   single in-process :class:`~repro.core.border_router.BorderRouter`
+   over the authoritative state and keeps serving verdicts (flagged
+   ``degraded`` in ``stats()``); without it, the plane poisons itself
+   exactly as before.
+
+What survives a restart and what does not is part of the contract (see
+the package docstring's fault-model section): host records and
+revocations are replayed from the authoritative copies, so they survive
+exactly; the shard's replay-filter history and its verdict counters die
+with the process.  Verdicts owed by the failed worker are *dropped and
+counted* (``Action.DROP`` / ``DropReason.SHARD_FAILURE``), never
+guessed — the reply stream restarts clean on the fresh pipe, so no
+later burst can inherit an earlier burst's verdicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import TYPE_CHECKING, Callable
+
+from . import wire
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .plan import ShardPlan
+    from .pool import ShardProcessPool
+    from .worker import ShardSpec
+
+__all__ = ["ShardStateSource", "SupervisorPolicy", "ShardSupervisor"]
+
+#: Restart backoff is capped at this multiple of the base delay.
+_BACKOFF_CAP_FACTOR = 50
+
+
+@dataclasses.dataclass(frozen=True)
+class SupervisorPolicy:
+    """The recovery knobs, mirrored from :class:`repro.core.config.
+    ApnaConfig`'s ``shard_*`` fields (see there for semantics)."""
+
+    reply_timeout: "float | None" = 5.0
+    max_restarts: int = 3
+    restart_backoff: float = 0.05
+    degrade_to_inline: bool = True
+
+    @classmethod
+    def from_config(cls, config) -> "SupervisorPolicy":
+        return cls(
+            reply_timeout=config.shard_reply_timeout,
+            max_restarts=config.shard_max_restarts,
+            restart_backoff=config.shard_restart_backoff,
+            degrade_to_inline=config.shard_degraded_fallback,
+        )
+
+
+class ShardStateSource:
+    """Live references to the AS's authoritative state, from which any
+    shard's view can be rebuilt at any moment.
+
+    The plane's construction-time snapshot is only the *initial* worker
+    state; everything since (registrations, revocations) reached the
+    workers as incremental control frames.  A restarted worker needs the
+    *current* state, so the supervisor reads it fresh from the same
+    objects the control hooks mutate — ``hostdb`` and ``revocations``
+    are the :class:`~repro.core.hostdb.HostDatabase` and
+    :class:`~repro.core.revocation.RevocationList` the AS itself owns.
+    """
+
+    def __init__(self, hostdb, revocations) -> None:
+        self.hostdb = hostdb
+        self.revocations = revocations
+
+    def shard_state(
+        self, plan: "ShardPlan", shard: int
+    ) -> "tuple[list, list, list]":
+        """``(owned, live_hids, revoked)`` for one shard, resync-ready."""
+        owned = []
+        live = []
+        for record in self.hostdb.records():
+            if not record.revoked:
+                live.append(record.hid)
+            if plan.owner_of(record.hid) == shard:
+                owned.append(
+                    (
+                        record.hid,
+                        record.keys.control,
+                        record.keys.packet_mac,
+                        record.revoked,
+                    )
+                )
+        return owned, live, list(self.revocations.snapshot())
+
+
+class ShardSupervisor:
+    """Restart bookkeeping + the resync protocol for one worker pool."""
+
+    def __init__(
+        self,
+        pool: "ShardProcessPool",
+        plan: "ShardPlan",
+        specs: "list[ShardSpec]",
+        state: "ShardStateSource | None",
+        policy: SupervisorPolicy,
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._pool = pool
+        self._plan = plan
+        #: Bare per-shard specs: the original specs stripped of state, so
+        #: a respawned worker starts empty and MSG_RESYNC is the single
+        #: source of its state.
+        self._bare_specs = [
+            dataclasses.replace(
+                spec, owned_hosts=(), live_hids=(), revoked_ephids=()
+            )
+            for spec in specs
+        ]
+        self._state = state
+        self.policy = policy
+        self._sleep = sleep
+        #: Successful + failed restart attempts, per shard.
+        self.restarts = [0] * len(specs)
+        self.total_restarts = 0
+        #: ``(shard, cause)`` log of every failure handled, for tests and
+        #: post-mortems.
+        self.failures: "list[tuple[int, str]]" = []
+
+    @property
+    def can_resync(self) -> bool:
+        """Restarts need an authoritative state source to replay from."""
+        return self._state is not None
+
+    def record_failure(self, shard: int, cause: str) -> None:
+        self.failures.append((shard, cause))
+
+    def restart(self, shard: int) -> bool:
+        """Try to bring ``shard`` back: kill, respawn bare, resync, ack.
+
+        Returns ``True`` once a fresh worker acknowledged its resync;
+        ``False`` when the shard's restart budget is exhausted (the
+        caller then degrades or poisons the plane).  Each attempt —
+        successful or not — consumes budget, and attempts back off with
+        a capped exponential delay so a crash-looping worker cannot spin
+        the dispatcher.
+        """
+        if not self.can_resync:
+            return False
+        while self.restarts[shard] < self.policy.max_restarts:
+            attempt = self.restarts[shard]
+            self.restarts[shard] += 1
+            self.total_restarts += 1
+            if attempt > 0:
+                base = self.policy.restart_backoff
+                self._sleep(min(base * (2 ** (attempt - 1)), base * _BACKOFF_CAP_FACTOR))
+            try:
+                self._pool.restart(shard, self._bare_specs[shard])
+                self._resync(shard)
+                return True
+            except Exception as exc:  # noqa: BLE001 — any failure retries
+                self.record_failure(shard, f"restart attempt {attempt + 1}: {exc}")
+        return False
+
+    def _resync(self, shard: int) -> None:
+        """Replay the authoritative state into a fresh worker and wait
+        for its ack (bounded by the same reply timeout as bursts)."""
+        assert self._state is not None
+        owned, live, revoked = self._state.shard_state(self._plan, shard)
+        self._pool.send_bytes(
+            shard, wire.encode_resync(owned, live, revoked)
+        )
+        reply = self._pool.recv_bytes(
+            shard, timeout=self.policy.reply_timeout
+        )
+        if not reply or reply[0] != wire.MSG_RESYNC_ACK:
+            kind = reply[0] if reply else None
+            raise wire_ack_error(shard, kind)
+        acked_owned, acked_revoked = wire.decode_resync_ack(reply)
+        if acked_owned != len(owned) or acked_revoked != len(revoked):
+            raise wire_ack_error(
+                shard,
+                wire.MSG_RESYNC_ACK,
+                detail=(
+                    f"acked {acked_owned} hosts/{acked_revoked} revocations, "
+                    f"sent {len(owned)}/{len(revoked)}"
+                ),
+            )
+
+
+def wire_ack_error(shard: int, kind, *, detail: str = ""):
+    from .pool import ShardError
+
+    message = f"shard {shard}: bad resync ack (message kind {kind})"
+    if detail:
+        message = f"{message}: {detail}"
+    return ShardError(message, shard=shard)

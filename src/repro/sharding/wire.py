@@ -25,6 +25,8 @@ MSG_REGISTER_HOST = 5
 MSG_STATS = 6
 MSG_STATS_REPLY = 7
 MSG_ERROR = 8
+MSG_RESYNC = 9
+MSG_RESYNC_ACK = 10
 
 #: Directions inside a burst message.
 EGRESS = 0
@@ -167,6 +169,73 @@ def encode_stats(counters: "dict[str, int]") -> bytes:
 def decode_stats(msg: bytes) -> "dict[str, int]":
     values = _STATS_REPLY.unpack(msg)[1:]
     return dict(zip(STATS_FIELDS, values))
+
+
+#: Resync: the supervisor's full-state replay into a restarted worker.
+#: One message carries everything a fresh shard needs — its owned host
+#: records (keys included), the replicated live-HID view and the
+#: revocation-list snapshot — so the restart is a single ordered
+#: request/ack exchange on the same pipe as the bursts.
+_RESYNC_HEAD = struct.Struct(">BIII")  # kind, n_owned, n_live, n_revoked
+_RESYNC_OWNED = struct.Struct(">IB16s16s")  # hid, revoked, control, mac
+_RESYNC_LIVE = struct.Struct(">I")  # hid
+_RESYNC_REVOKED = struct.Struct(">d16s")  # exp_time, ephid
+
+
+def encode_resync(
+    owned: "list[tuple[int, bytes, bytes, bool]]",
+    live_hids: "list[int]",
+    revoked: "list[tuple[bytes, float]]",
+) -> bytes:
+    """Pack a full shard-state resync: ``owned`` is ``(hid, control,
+    packet_mac, revoked)`` for the HIDs this shard owns, ``live_hids``
+    the replicated validity view, ``revoked`` the ``(ephid, exp_time)``
+    revocation snapshot."""
+    parts = [
+        _RESYNC_HEAD.pack(MSG_RESYNC, len(owned), len(live_hids), len(revoked))
+    ]
+    for hid, control, packet_mac, is_revoked in owned:
+        parts.append(
+            _RESYNC_OWNED.pack(hid, 1 if is_revoked else 0, control, packet_mac)
+        )
+    for hid in live_hids:
+        parts.append(_RESYNC_LIVE.pack(hid))
+    for ephid, exp_time in revoked:
+        parts.append(_RESYNC_REVOKED.pack(exp_time, ephid))
+    return b"".join(parts)
+
+
+def decode_resync(
+    msg: bytes,
+) -> "tuple[list[tuple[int, bytes, bytes, bool]], list[int], list[tuple[bytes, float]]]":
+    _, n_owned, n_live, n_revoked = _RESYNC_HEAD.unpack_from(msg)
+    offset = _RESYNC_HEAD.size
+    owned = []
+    for _ in range(n_owned):
+        hid, is_revoked, control, packet_mac = _RESYNC_OWNED.unpack_from(msg, offset)
+        offset += _RESYNC_OWNED.size
+        owned.append((hid, control, packet_mac, bool(is_revoked)))
+    live = []
+    for _ in range(n_live):
+        live.append(_RESYNC_LIVE.unpack_from(msg, offset)[0])
+        offset += _RESYNC_LIVE.size
+    revoked = []
+    for _ in range(n_revoked):
+        exp_time, ephid = _RESYNC_REVOKED.unpack_from(msg, offset)
+        offset += _RESYNC_REVOKED.size
+        revoked.append((ephid, exp_time))
+    return owned, live, revoked
+
+
+def encode_resync_ack(owned_count: int, revoked_count: int) -> bytes:
+    """The worker's confirmation that the resync was applied (counts echo
+    what it now holds, a cheap sanity handle for the supervisor)."""
+    return struct.pack(">BII", MSG_RESYNC_ACK, owned_count, revoked_count)
+
+
+def decode_resync_ack(msg: bytes) -> "tuple[int, int]":
+    _, owned_count, revoked_count = struct.unpack(">BII", msg)
+    return owned_count, revoked_count
 
 
 def encode_error(text: str) -> bytes:

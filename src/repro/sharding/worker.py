@@ -146,13 +146,29 @@ class ShardState:
             crypto_backend.set_backend(spec.crypto_backend)
         self.spec = spec
         self.clock = _SettableClock()
+        self._build_state(
+            spec.owned_hosts, spec.live_hids, spec.revoked_ephids
+        )
+
+    def _build_state(self, owned_hosts, live_hids, revoked_ephids) -> None:
+        """(Re)build the shard's mutable state around fixed spec keys.
+
+        Called at construction and again on :data:`wire.MSG_RESYNC` —
+        the supervisor's full-state replay into a restarted worker.
+        Rebuilding (rather than patching) guarantees the worker holds
+        exactly the authoritative snapshot, whatever it held before; the
+        replay filter necessarily starts empty, which is where the
+        documented bounded replay-horizon loss after a restart comes
+        from.
+        """
+        spec = self.spec
         self.hosts = ShardHostView()
-        for hid, control, packet_mac, revoked in spec.owned_hosts:
+        for hid, control, packet_mac, revoked in owned_hosts:
             self.hosts.add_owned(hid, control, packet_mac, revoked=revoked)
-        for hid in spec.live_hids:
+        for hid in live_hids:
             self.hosts.set_live(hid)
         self.revocations = RevocationList()
-        for ephid, exp_time in spec.revoked_ephids:
+        for ephid, exp_time in revoked_ephids:
             self.revocations.add(ephid, exp_time)
         replay_filter = None
         if spec.replay_window is not None:
@@ -200,6 +216,11 @@ class ShardState:
         else:
             self.hosts.set_live(hid)
 
+    def handle_resync(self, msg: bytes) -> bytes:
+        owned, live, revoked = wire.decode_resync(msg)
+        self._build_state(owned, live, revoked)
+        return wire.encode_resync_ack(len(owned), len(revoked))
+
     def stats(self) -> bytes:
         router = self.router
         counters = {reason.value: n for reason, n in router.drops.items()}
@@ -217,7 +238,7 @@ class ShardState:
 #: *only* in response to these — an unsolicited frame would be consumed
 #: as the answer to some later request and desynchronise every reply
 #: after it.
-_REPLYING_KINDS = frozenset({wire.MSG_BURST, wire.MSG_STATS})
+_REPLYING_KINDS = frozenset({wire.MSG_BURST, wire.MSG_STATS, wire.MSG_RESYNC})
 
 
 def data_plane_worker(conn, spec: ShardSpec) -> None:
@@ -262,6 +283,8 @@ def data_plane_worker(conn, spec: ShardSpec) -> None:
                 state.handle_register_host(msg)
             elif kind == wire.MSG_STATS:
                 conn.send_bytes(state.stats())
+            elif kind == wire.MSG_RESYNC:
+                conn.send_bytes(state.handle_resync(msg))
             else:
                 held_error = f"unknown message kind {kind}"
         except Exception:

@@ -642,6 +642,10 @@ class WorldBuilder:
         *,
         batch_size: int | None = None,
         block: int | None = None,
+        reply_timeout: float | None | str = "unset",
+        max_restarts: int | None = None,
+        restart_backoff: float | None = None,
+        degraded_fallback: bool | None = None,
     ) -> "WorldBuilder":
         """Shard every AS's data plane over ``shards`` worker processes.
 
@@ -650,6 +654,14 @@ class WorldBuilder:
         spawns one :class:`repro.sharding.ShardedDataPlane` per AS and
         should be closed when done.  ``shards=1`` switches sharding back
         off.
+
+        The supervision knobs mirror the ``shard_*`` config fields:
+        ``reply_timeout`` bounds every worker reply wait (``None``
+        restores the unbounded pre-supervision wait), ``max_restarts`` /
+        ``restart_backoff`` budget and pace worker restarts, and
+        ``degraded_fallback`` picks what happens once the budget is
+        spent — fall back to in-process forwarding (default) or poison
+        the plane.
         """
         if shards < 1:
             raise TopologyError(f"shards must be >= 1, got {shards}")
@@ -666,6 +678,26 @@ class WorldBuilder:
             if block < 1:
                 raise TopologyError(f"block must be >= 1, got {block}")
             self._sharding["shard_block"] = block
+        if reply_timeout != "unset":
+            if reply_timeout is not None and reply_timeout <= 0:
+                raise TopologyError(
+                    f"reply_timeout must be > 0 (or None), got {reply_timeout}"
+                )
+            self._sharding["shard_reply_timeout"] = reply_timeout
+        if max_restarts is not None:
+            if max_restarts < 0:
+                raise TopologyError(
+                    f"max_restarts must be >= 0, got {max_restarts}"
+                )
+            self._sharding["shard_max_restarts"] = max_restarts
+        if restart_backoff is not None:
+            if restart_backoff < 0:
+                raise TopologyError(
+                    f"restart_backoff must be >= 0, got {restart_backoff}"
+                )
+            self._sharding["shard_restart_backoff"] = restart_backoff
+        if degraded_fallback is not None:
+            self._sharding["shard_degraded_fallback"] = degraded_fallback
         return self
 
     # -- ASes ----------------------------------------------------------------

@@ -1,5 +1,7 @@
-"""Shared fixtures: deterministic single- and two-AS worlds."""
+"""Shared fixtures: deterministic single- and two-AS worlds, plus the
+watchdog that keeps multi-process sharding/fault tests from hanging CI."""
 
+import signal
 from types import SimpleNamespace
 
 import pytest
@@ -9,6 +11,49 @@ from repro.core.config import ApnaConfig
 from repro.core.rpki import RpkiDirectory, TrustAnchor
 from repro.crypto.rng import DeterministicRng
 from repro.netsim import Network
+
+#: Test files that drive worker *processes* — the only tests that can
+#: genuinely wedge (a worker stuck on a pipe the dispatcher never
+#: reads).  Everything else is pure in-process simulation.
+_WATCHDOG_FILES = (
+    "test_sharding.py",
+    "test_sharding_equivalence.py",
+    "test_sharding_faults.py",
+)
+_WATCHDOG_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def _shard_test_watchdog(request):
+    """SIGALRM watchdog for the sharding/fault suites.
+
+    ``pytest-timeout`` is not in the container, so this is the
+    no-dependency equivalent: any sharding test that deadlocks (worker
+    and dispatcher each waiting on the other's pipe) is killed after
+    ``_WATCHDOG_SECONDS`` with a stack-bearing failure instead of
+    hanging the whole run.  SIGALRM is process-wide, so the fixture
+    arms it only for the files that spawn workers, and only where the
+    platform has it (it is a no-op guard everywhere else).
+    """
+    if request.node.path.name not in _WATCHDOG_FILES or not hasattr(
+        signal, "SIGALRM"
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"{request.node.nodeid} exceeded the {_WATCHDOG_SECONDS}s "
+            "sharding watchdog — dispatcher/worker deadlock?"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(_WATCHDOG_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def build_world(*, seed=7, config=None, host_names=("alice", "bob"), latency=0.010):

@@ -17,6 +17,7 @@ from repro.core.config import ApnaConfig
 from repro.core.ephid import IvAllocator
 from repro.core.errors import RevokedError, UnknownHostError
 from repro.core.hostdb import FIRST_HOST_HID
+from repro.crypto import backend as crypto_backend_module
 from repro.sharding import (
     ShardError,
     ShardHostView,
@@ -408,24 +409,36 @@ class TestDispatcher:
             with pytest.raises(ShardError, match="unknown message kind"):
                 plane.shard_stats()
 
-    def test_plane_poisoned_after_lost_reply(self):
+    def test_lost_reply_recovers_with_drop_accounting(self):
+        """A lost burst reply no longer poisons the plane: the owed
+        verdicts are dropped-and-counted, the worker is restarted with a
+        resync, and the very next burst flows normally."""
         with build_sharded_world(hosts=1) as world:
             as_a = world.asys("a")
             pool = build_apna_pool(
                 as_a, [world.host("a0")], size=128, count=2, dst_aid=200
             )
             plane = as_a.shard_pool
-            plane._pool.send_bytes(0, bytes([99]))  # poison pill
+            plane._pool.send_bytes(0, bytes([99]))  # breaks the next reply
             ticket = plane.submit(pool.wire_frames, [True, True], as_a.clock())
-            with pytest.raises(ShardError):
-                plane.collect(ticket)
-            # The reply streams can no longer be trusted: refuse work.
-            with pytest.raises(ShardError, match="poisoned"):
-                plane.submit(pool.wire_frames, [True, True], as_a.clock())
-            with pytest.raises(ShardError, match="poisoned"):
-                plane.stats()
+            verdicts = plane.collect(ticket)
+            assert all(
+                v.action is Action.DROP
+                and v.reason is DropReason.SHARD_FAILURE
+                for v in verdicts
+            )
+            assert plane.supervisor.failures  # the cause was recorded
+            # Recovered: real verdicts again, and the ledger shows it.
+            verdicts = plane.process(pool.wire_frames, [True, True], as_a.clock())
+            assert all(v.action is Action.FORWARD_INTER for v in verdicts)
+            stats = plane.stats()
+            assert stats["restarts"] == 1
+            assert stats["dropped_bursts"] == 1
+            assert stats["dropped_packets"] == 2
+            assert stats[DropReason.SHARD_FAILURE.value] == 2
+            assert stats["degraded"] == 0
 
-    def test_plane_poisoned_when_a_worker_dies(self):
+    def test_worker_death_recovers_all_shards(self):
         with build_sharded_world(hosts=2) as world:
             as_a = world.asys("a")
             pool = build_apna_pool(
@@ -436,18 +449,56 @@ class TestDispatcher:
                 dst_aid=200,
             )
             plane = as_a.shard_pool
-            for proc in plane._pool._procs:
+            frames = pool.wire_frames
+            egress = [True] * len(frames)
+            for proc in list(plane._pool._procs):
                 proc.terminate()
                 proc.join(timeout=5.0)
-            with pytest.raises((ShardError, OSError, EOFError)):
-                plane.process(
-                    pool.wire_frames, [True] * len(pool.wire_frames), 0.0
-                )
-            assert plane._broken is not None
-            with pytest.raises(ShardError, match="poisoned"):
-                plane.process(
-                    pool.wire_frames, [True] * len(pool.wire_frames), 0.0
-                )
+            # The massacre burst: every sub-burst dropped-and-counted.
+            verdicts = plane.process(frames, egress, as_a.clock())
+            assert {v.reason for v in verdicts} == {DropReason.SHARD_FAILURE}
+            # Both workers restarted and resynced; traffic is back.
+            verdicts = plane.process(frames, egress, as_a.clock())
+            assert all(v.action is Action.FORWARD_INTER for v in verdicts)
+            stats = plane.stats()
+            assert stats["restarts"] == TIER1_SHARDS
+            assert stats["dropped_packets"] == len(frames)
+            assert stats["degraded"] == 0
+
+    def test_resync_preserves_revocations_and_new_hosts(self):
+        """State added *after* the pool spawned still survives a restart:
+        the resync reads the authoritative hostdb/revocation list, not
+        the construction-time snapshot."""
+        with build_sharded_world(hosts=2) as world:
+            as_a = world.asys("a")
+            world.attach_host("late", at="a")
+            pool = build_apna_pool(
+                as_a, [world.host("late")], size=128, count=4, dst_aid=200
+            )
+            revoked = build_apna_pool(
+                as_a, [world.host("a0")], size=128, count=2, dst_aid=200
+            )
+            plane = as_a.shard_pool
+            as_a.revocations.add(revoked.apna_packets[0].header.src_ephid, 2**31)
+            # Kill every worker so each one must resync to serve again.
+            for proc in list(plane._pool._procs):
+                proc.terminate()
+                proc.join(timeout=5.0)
+            plane.process(
+                pool.wire_frames, [True] * 4, as_a.clock()
+            )  # absorbs the failure
+            verdicts = plane.process(
+                pool.wire_frames + revoked.wire_frames,
+                [True] * 6,
+                as_a.clock(),
+            )
+            assert all(
+                v.action is Action.FORWARD_INTER for v in verdicts[:4]
+            ), "post-spawn host must survive the resync"
+            assert all(
+                v.action is Action.DROP and v.reason is DropReason.SRC_REVOKED
+                for v in verdicts[4:]
+            ), "post-spawn revocation must survive the resync"
 
     def test_in_flight_cap_counts_verdicts(self):
         with build_sharded_world(hosts=1) as world:
@@ -510,6 +561,111 @@ class TestDispatcher:
             verdicts = plane.process([transit], [False], as_a.clock())
             assert verdicts[0].next_aid == 65000
             assert plane.forwarded_inter == 1
+
+
+def build_no_recovery_world(*, hosts=2):
+    """A sharded world with supervision disabled: no restart budget, no
+    degraded fallback — the PR-5 poisoning semantics, kept as a policy."""
+    builder = (
+        WorldBuilder(seed=21)
+        .sharding(
+            TIER1_SHARDS,
+            batch_size=8,
+            max_restarts=0,
+            degraded_fallback=False,
+            reply_timeout=10.0,
+        )
+        .asys("a", aid=100)
+        .asys("b", aid=200)
+        .link("a", "b")
+    )
+    for i in range(hosts):
+        builder.host(f"a{i}", at="a")
+        builder.host(f"b{i}", at="b")
+    return builder.build()
+
+
+@pytest.mark.parametrize(
+    "backend", crypto_backend_module.available_backends()
+)
+class TestNoRecoveryPolicy:
+    """With ``max_restarts=0`` and the fallback off, every failure path
+    must refuse loudly (and cite its cause) rather than recover — the
+    conservative policy for differential runs where a silent drop would
+    invalidate the comparison.  Exercised under both crypto backends:
+    the poisoning machinery sits above the backend, so behaviour must
+    not vary with it."""
+
+    def test_lost_reply_poisons_and_names_the_cause(self, backend):
+        with crypto_backend_module.use_backend(backend):
+            world = build_no_recovery_world()
+        with world:
+            as_a = world.asys("a")
+            pool = build_apna_pool(
+                as_a, [world.host("a0")], size=128, count=2, dst_aid=200
+            )
+            plane = as_a.shard_pool
+            plane._pool.send_bytes(0, bytes([99]))  # poison pill
+            ticket = plane.submit(pool.wire_frames, [True, True], as_a.clock())
+            with pytest.raises(ShardError, match="unknown message kind"):
+                plane.collect(ticket)
+            assert plane._broken is not None
+            # Submit, control broadcasts and stats all refuse, citing the
+            # original cause — nobody trips over a cryptic secondary error.
+            with pytest.raises(ShardError, match="poisoned.*unknown message"):
+                plane.submit(pool.wire_frames, [True, True], as_a.clock())
+            with pytest.raises(ShardError, match="poisoned.*unknown message"):
+                plane.revoke_ephid(bytes(16), 1e12)
+            with pytest.raises(ShardError, match="poisoned.*unknown message"):
+                plane.register_host(next(iter(as_a.hostdb.records())))
+            with pytest.raises(ShardError, match="poisoned.*unknown message"):
+                plane.stats()
+
+    def test_worker_death_poisons(self, backend):
+        with crypto_backend_module.use_backend(backend):
+            world = build_no_recovery_world()
+        with world:
+            as_a = world.asys("a")
+            pool = build_apna_pool(
+                as_a,
+                [world.host("a0"), world.host("a1")],
+                size=128,
+                count=8,
+                dst_aid=200,
+            )
+            plane = as_a.shard_pool
+            for proc in plane._pool._procs:
+                proc.terminate()
+                proc.join(timeout=5.0)
+            with pytest.raises(ShardError):
+                plane.process(
+                    pool.wire_frames, [True] * len(pool.wire_frames), 0.0
+                )
+            assert plane._broken is not None
+            with pytest.raises(ShardError, match="poisoned"):
+                plane.process(
+                    pool.wire_frames, [True] * len(pool.wire_frames), 0.0
+                )
+
+    def test_collect_on_stale_ticket_fails_cleanly(self, backend):
+        """A ticket orphaned by poisoning must fail with the poisoned
+        error, not hang on a reply that will never come or mispair."""
+        with crypto_backend_module.use_backend(backend):
+            world = build_no_recovery_world()
+        with world:
+            as_a = world.asys("a")
+            pool = build_apna_pool(
+                as_a, [world.host("a0")], size=128, count=2, dst_aid=200
+            )
+            plane = as_a.shard_pool
+            stale = plane.submit(pool.wire_frames, [True, True], as_a.clock())
+            plane._pool.send_bytes(0, bytes([99]))
+            doomed = plane.submit(pool.wire_frames, [True, True], as_a.clock())
+            plane.collect(stale)  # still fine: its reply pre-dates the pill
+            with pytest.raises(ShardError, match="unknown message kind"):
+                plane.collect(doomed)
+            with pytest.raises(ShardError, match="poisoned"):
+                plane.collect(doomed)
 
 
 class TestShardedIssuance:

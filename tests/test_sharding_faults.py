@@ -1,0 +1,503 @@
+"""Chaos acceptance suite for the self-healing shard data plane.
+
+The contract under deterministic fault storms (:mod:`repro.faults`):
+
+* every packet whose worker survived gets EXACTLY the verdict the
+  single-process router computes — failures never blur healthy verdicts;
+* every packet owed by a failed worker is dropped-and-counted
+  (``DropReason.SHARD_FAILURE``), never guessed, and the ``stats()``
+  ledger accounts for each one;
+* the plane never deadlocks and never mispairs a reply with the wrong
+  burst, whatever mix of kills, hangs, error frames, garbage replies and
+  benign delays the storm throws;
+* once a shard exhausts its restart budget the plane degrades to exact
+  in-process forwarding instead of refusing traffic.
+
+These runs use worlds *without* the replay filter: filter history is the
+one thing a restart legitimately loses (the documented bounded-horizon
+exception), so excluding it makes the equivalence bar total instead of
+"total except replays".  The filterless configuration means a restarted
+shard is state-identical to one that never crashed — any verdict
+divergence is a real bug.
+"""
+
+import random
+
+import pytest
+
+from repro.core.border_router import BorderRouter, DropReason
+from repro.core.config import ApnaConfig
+from repro.faults import FAULT_KINDS, Fault, FaultPlan, crash_storm_plan
+from repro.sharding import ShardedDataPlane, SupervisorPolicy
+from repro.wire.apna import Endpoint
+from repro import scenarios
+
+from tests.conftest import build_world
+
+SHARD_COUNTS = (2, 3)
+
+#: Chaos supervision: quick hang detection, effectively unlimited
+#: restarts (the storm must never exhaust the budget unless a test wants
+#: it to), minimal backoff so the suite stays fast.
+CHAOS_POLICY = SupervisorPolicy(
+    reply_timeout=0.4, max_restarts=10_000, restart_backoff=0.001
+)
+
+
+def _build_world(nshards):
+    return build_world(
+        config=ApnaConfig(forwarding_shards=nshards),
+        host_names=("alice", "bob", "carol", "dave", "erin"),
+    )
+
+
+def _reference_router(world):
+    """The single-process oracle over the same hostdb/revocations."""
+    return BorderRouter(
+        world.as_a.aid,
+        world.as_a.codec,
+        world.as_a.hostdb,
+        world.as_a.revocations,
+        world.network.scheduler.clock(),
+        packet_mac_size=world.config.packet_mac_size,
+        replay_filter=None,
+    )
+
+
+def _fresh_plane(world, nshards, policy=CHAOS_POLICY):
+    as_a = world.as_a
+    return ShardedDataPlane.from_parts(
+        aid=as_a.aid,
+        enc_key=as_a.keys.secret.ephid_enc,
+        mac_key=as_a.keys.secret.ephid_mac,
+        hostdb=as_a.hostdb,
+        revocations=as_a.revocations,
+        nshards=nshards,
+        plan=as_a.shard_plan,
+        packet_mac_size=world.config.packet_mac_size,
+        supervision=policy,
+    )
+
+
+#: Verdict classes in the storm mix.  No "replay" kind: these worlds run
+#: without the filter (see the module docstring), so every packet is
+#: unique and equivalence is exact across restarts.
+KINDS = (
+    "inter", "inter", "inter", "intra", "forged", "expired", "revoked",
+    "bad-hid", "bad-mac", "foreign", "forged-dst",
+)
+
+
+def _packet_mix(world, rng):
+    """The equivalence suite's packet builder, minus replay duplicates."""
+    import dataclasses
+
+    alice = world.hosts["alice"]
+    carol = world.hosts["carol"]
+    erin = world.hosts["erin"]
+    bob = world.hosts["bob"]
+    sources = [
+        (host, host.acquire_ephid_direct()) for host in (alice, carol, erin)
+    ]
+    peer = bob.acquire_ephid_direct()
+    local_peer = carol.acquire_ephid_direct()
+    revocable = [
+        (host, host.acquire_ephid_direct()) for host in (alice, erin)
+    ]
+    codec = world.as_a.codec
+    alice_hid = world.as_a.hostdb.find_by_subscriber(alice.subscriber_id).hid
+    expired_ephid = codec.seal(
+        alice_hid, exp_time=1, iv=world.as_a.ivs.next_iv_for(alice_hid)
+    )
+    bad_hid = 0xDEAD_0000
+    bad_hid_ephid = codec.seal(
+        bad_hid, exp_time=2**31, iv=world.as_a.ivs.next_iv_for(bad_hid)
+    )
+    dst_inter = Endpoint(world.as_b.aid, peer.ephid)
+    dst_intra = Endpoint(world.as_a.aid, local_peer.ephid)
+
+    def build(kind):
+        host, src = rng.choice(sources)
+        make = host.stack.make_packet
+        if kind == "intra":
+            return make(src.ephid, dst_intra, b"data")
+        if kind == "forged":
+            packet = make(src.ephid, dst_inter, b"data")
+            return dataclasses.replace(
+                packet,
+                header=dataclasses.replace(
+                    packet.header, src_ephid=rng.randbytes(16)
+                ),
+            )
+        if kind == "expired":
+            return make(expired_ephid, dst_inter, b"data")
+        if kind == "revoked":
+            rev_host, rev = rng.choice(revocable)
+            return rev_host.stack.make_packet(rev.ephid, dst_inter, b"data")
+        if kind == "bad-hid":
+            return make(bad_hid_ephid, dst_inter, b"data")
+        if kind == "bad-mac":
+            packet = make(src.ephid, dst_inter, b"data")
+            return dataclasses.replace(
+                packet, header=packet.header.with_mac(b"\xff" * 8)
+            )
+        if kind == "foreign":
+            packet = make(src.ephid, dst_inter, b"data")
+            return dataclasses.replace(
+                packet, header=dataclasses.replace(packet.header, src_aid=999)
+            )
+        if kind == "forged-dst":
+            return make(
+                src.ephid,
+                Endpoint(world.as_a.aid, rng.randbytes(16)),
+                b"data",
+            )
+        return make(src.ephid, dst_inter, b"data")  # "inter"
+
+    return build, revocable
+
+
+class TestFaultPlan:
+    def test_crash_storm_is_deterministic(self):
+        a = crash_storm_plan(3, 100, seed=42)
+        b = crash_storm_plan(3, 100, seed=42)
+        assert a.schedule() == b.schedule()
+        assert len(a) > 0
+        assert a.schedule() != crash_storm_plan(3, 100, seed=43).schedule()
+
+    def test_crash_storm_covers_every_kind(self):
+        plan = crash_storm_plan(3, 200, seed=0, rate=0.2)
+        kinds = {fault.kind for _, _, fault in plan.schedule()}
+        assert kinds == set(FAULT_KINDS)
+
+    def test_crash_storm_spares_opening_bursts(self):
+        plan = crash_storm_plan(4, 50, seed=1, rate=1.0, spare_first=3)
+        assert all(seq >= 3 for _, seq, _ in plan.schedule())
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("explode")
+        with pytest.raises(ValueError, match="delay"):
+            Fault("delay", delay=-1)
+        with pytest.raises(ValueError, match="rate"):
+            crash_storm_plan(2, 10, rate=1.5)
+        with pytest.raises(ValueError, match="kinds"):
+            crash_storm_plan(2, 10, kinds=())
+
+    def test_plan_add_accepts_strings(self):
+        plan = FaultPlan({(0, 3): "kill"}).add(1, 4, "hang")
+        assert plan.fault_for(0, 3) == Fault("kill")
+        assert plan.fault_for(1, 4) == Fault("hang")
+        assert plan.fault_for(0, 0) is None
+        assert len(plan) == 2
+
+
+@pytest.mark.parametrize("nshards", SHARD_COUNTS)
+class TestCrashStormEquivalence:
+    """The acceptance bar: >= 100 bursts through a seeded storm mixing
+    every fault kind, with exact verdict equivalence for every delivered
+    packet and full accounting for every dropped one."""
+
+    BURSTS = 110
+    BURST_SIZE = 5
+
+    def test_storm_preserves_delivered_verdicts(self, nshards):
+        world = _build_world(nshards)
+        world.network.run_until(5.0)  # let the exp_time=1 EphID expire
+        rng = random.Random(0xFA17 + nshards)
+        build, revocable = _packet_mix(world, rng)
+        router = _reference_router(world)
+        plan = crash_storm_plan(
+            nshards, self.BURSTS, seed=7 + nshards, rate=0.06, delay=0.005
+        )
+        assert len(plan) > 0
+        plane = _fresh_plane(world, nshards)
+        plane.install_faults(plan)
+        total = delivered = failures = 0
+        try:
+            for burst_no in range(self.BURSTS):
+                packets = [
+                    build(rng.choice(KINDS)) for _ in range(self.BURST_SIZE)
+                ]
+                now = world.as_a.clock()
+                verdicts = plane.process(
+                    [p.to_wire() for p in packets],
+                    [True] * len(packets),
+                    now,
+                )
+                for packet, verdict in zip(packets, verdicts):
+                    total += 1
+                    if verdict.reason is DropReason.SHARD_FAILURE:
+                        failures += 1
+                        continue
+                    delivered += 1
+                    assert verdict == router.process_outgoing(packet), (
+                        f"burst {burst_no}: delivered verdict diverged "
+                        "from the single-process oracle"
+                    )
+                if burst_no == self.BURSTS // 2:
+                    # Mid-storm revocation: the authoritative list first
+                    # (what restarts resync from), then the broadcast.
+                    _, owned = revocable[0]
+                    world.as_a.revocations.add(owned.ephid, 2**31)
+                    plane.revoke_ephid(owned.ephid, 2**31)
+            stats = plane.stats()
+        finally:
+            plane.close()
+        # The storm actually stormed, and every loss is accounted for.
+        assert plan.injected, "the schedule never fired"
+        disruptive = [
+            kind for _, _, kind in plan.injected if kind != "delay"
+        ]
+        assert disruptive, "storm contained no disruptive faults"
+        assert failures > 0
+        assert delivered + failures == total
+        assert stats["dropped_packets"] == failures
+        assert stats[DropReason.SHARD_FAILURE.value] == failures
+        assert stats["restarts"] > 0
+        assert stats["degraded"] == 0
+        assert delivered > total // 2, "storm drowned the signal"
+
+    def test_storm_is_reproducible(self, nshards):
+        """Same seeds, same storm: the injected-fault log and the
+        supervision ledger come out identical across two fresh runs."""
+        ledgers = []
+        for _ in range(2):
+            world = _build_world(nshards)
+            rng = random.Random(99)
+            build, _ = _packet_mix(world, rng)
+            plan = crash_storm_plan(nshards, 40, seed=5, rate=0.1)
+            plane = _fresh_plane(world, nshards)
+            plane.install_faults(plan)
+            try:
+                for _ in range(40):
+                    packets = [build(rng.choice(KINDS)) for _ in range(4)]
+                    plane.process(
+                        [p.to_wire() for p in packets],
+                        [True] * len(packets),
+                        world.as_a.clock(),
+                    )
+                stats = plane.stats()
+            finally:
+                plane.close()
+            ledgers.append(
+                (
+                    plan.injected,
+                    stats["restarts"],
+                    stats["dropped_bursts"],
+                    stats["dropped_packets"],
+                )
+            )
+        assert ledgers[0] == ledgers[1]
+
+
+class TestFaultKindsIsolated:
+    """One fault kind at a time, pinned to a specific burst."""
+
+    def _run(self, plan, *, bursts=6, policy=CHAOS_POLICY):
+        world = _build_world(2)
+        rng = random.Random(3)
+        build, _ = _packet_mix(world, rng)
+        router = _reference_router(world)
+        plane = _fresh_plane(world, 2, policy)
+        plane.install_faults(plan)
+        outcomes = []
+        try:
+            for _ in range(bursts):
+                packets = [build("inter") for _ in range(4)]
+                verdicts = plane.process(
+                    [p.to_wire() for p in packets],
+                    [True] * len(packets),
+                    world.as_a.clock(),
+                )
+                reference = [router.process_outgoing(p) for p in packets]
+                outcomes.append(list(zip(verdicts, reference)))
+            stats = plane.stats()
+        finally:
+            plane.close()
+        return outcomes, stats
+
+    def _assert_recovered(self, outcomes, stats, *, expect_failures):
+        sharded_failures = sum(
+            1
+            for burst in outcomes
+            for verdict, _ in burst
+            if verdict.reason is DropReason.SHARD_FAILURE
+        )
+        for burst in outcomes:
+            for verdict, reference in burst:
+                if verdict.reason is not DropReason.SHARD_FAILURE:
+                    assert verdict == reference
+        if expect_failures:
+            assert sharded_failures > 0
+            assert stats["restarts"] > 0
+        else:
+            assert sharded_failures == 0
+            assert stats["restarts"] == 0
+        assert stats["dropped_packets"] == sharded_failures
+        assert stats["degraded"] == 0
+
+    # Each kind is scheduled on burst 1 of BOTH shards: which shards see
+    # traffic depends on EphID routing, but whichever does will reach
+    # burst seq 1 within the run and draw the fault.
+
+    def test_kill_recovers(self):
+        outcomes, stats = self._run(FaultPlan({(0, 1): "kill", (1, 1): "kill"}))
+        self._assert_recovered(outcomes, stats, expect_failures=True)
+
+    def test_hang_detected_by_timeout(self):
+        outcomes, stats = self._run(FaultPlan({(0, 1): "hang", (1, 1): "hang"}))
+        self._assert_recovered(outcomes, stats, expect_failures=True)
+
+    def test_error_frame_recovers(self):
+        outcomes, stats = self._run(
+            FaultPlan({(0, 1): "error", (1, 1): "error"})
+        )
+        self._assert_recovered(outcomes, stats, expect_failures=True)
+
+    def test_garbage_reply_recovers(self):
+        outcomes, stats = self._run(
+            FaultPlan({(0, 1): "garbage", (1, 1): "garbage"})
+        )
+        self._assert_recovered(outcomes, stats, expect_failures=True)
+
+    def test_benign_delay_triggers_no_recovery(self):
+        """The false-positive check: a reply delay shorter than the
+        timeout must not cost a single packet or restart."""
+        plan = FaultPlan(
+            {(s, q): Fault("delay", delay=0.01) for s in (0, 1) for q in (1, 3)}
+        )
+        outcomes, stats = self._run(plan)
+        self._assert_recovered(outcomes, stats, expect_failures=False)
+        assert plan.injected  # at least one delay actually fired
+
+
+class TestDegradation:
+    """Budget exhaustion must end in exact in-process service, not a wall
+    of exceptions."""
+
+    def _degraded_plane(self, world, *, degrade=True):
+        policy = SupervisorPolicy(
+            reply_timeout=0.4,
+            max_restarts=1,
+            restart_backoff=0.001,
+            degrade_to_inline=degrade,
+        )
+        plane = _fresh_plane(world, 2, policy)
+        # Two kills per shard (routing decides which shards carry
+        # traffic): the first kill consumes a shard's only restart, the
+        # second exhausts its budget.
+        plane.install_faults(
+            FaultPlan({(s, q): "kill" for s in (0, 1) for q in (1, 2)})
+        )
+        return plane
+
+    def test_degrades_to_exact_inprocess_service(self):
+        world = _build_world(2)
+        rng = random.Random(11)
+        build, revocable = _packet_mix(world, rng)
+        router = _reference_router(world)
+        plane = self._degraded_plane(world)
+        try:
+            seen_degraded = False
+            for burst_no in range(30):
+                packets = [build(rng.choice(KINDS)) for _ in range(4)]
+                verdicts = plane.process(
+                    [p.to_wire() for p in packets],
+                    [True] * len(packets),
+                    world.as_a.clock(),
+                )
+                reference = [router.process_outgoing(p) for p in packets]
+                if plane.degraded is not None and not seen_degraded:
+                    seen_degraded = True
+                    degraded_at = burst_no
+                if seen_degraded and burst_no > degraded_at:
+                    # Past the transition, service is exact again.
+                    assert verdicts == reference
+                if burst_no == 20:
+                    assert seen_degraded, "budget never exhausted"
+                    # Revocations still bite in degraded mode: the
+                    # fallback reads the live authoritative list.
+                    _, owned = revocable[0]
+                    world.as_a.revocations.add(owned.ephid, 2**31)
+                    plane.revoke_ephid(owned.ephid, 2**31)  # silent no-op
+                    drop = plane.process(
+                        [
+                            revocable[0][0]
+                            .stack.make_packet(
+                                owned.ephid,
+                                Endpoint(world.as_b.aid, bytes(16)),
+                                b"x",
+                            )
+                            .to_wire()
+                        ],
+                        [True],
+                        world.as_a.clock(),
+                    )
+                    assert drop[0].reason is DropReason.SRC_REVOKED
+            stats = plane.stats()
+            assert stats["degraded"] == 1
+            assert 1 <= stats["restarts"] <= 2  # one budgeted restart per shard
+            assert stats["dropped_packets"] > 0
+            assert plane.closed  # the worker pool is gone
+            plane.barrier()  # no-op, must not raise
+        finally:
+            plane.close()
+
+    def test_without_fallback_budget_exhaustion_poisons(self):
+        from repro.sharding import ShardError
+
+        world = _build_world(2)
+        rng = random.Random(12)
+        build, _ = _packet_mix(world, rng)
+        plane = self._degraded_plane(world, degrade=False)
+        try:
+            with pytest.raises(ShardError, match="poisoned|unrecoverable"):
+                for _ in range(6):
+                    packets = [build("inter") for _ in range(4)]
+                    plane.process(
+                        [p.to_wire() for p in packets],
+                        [True] * len(packets),
+                        world.as_a.clock(),
+                    )
+            assert plane._broken is not None
+        finally:
+            plane.close()
+
+
+class TestCrashStormScenario:
+    def test_scenario_builds_and_carries_chaos(self):
+        from dataclasses import replace
+
+        config = replace(
+            ApnaConfig(),
+            forwarding_shards=2,
+            forwarding_batch_size=8,
+            shard_reply_timeout=0.4,
+            shard_restart_backoff=0.001,
+        )
+        world = scenarios.build("crash-storm:2", seed=13, config=config)
+        try:
+            plane = world.asys("a").shard_pool
+            assert plane is not None and plane.nshards == 2
+            plan = FaultPlan({(0, 0): "kill"})
+            plane.install_faults(plan)
+            client = world.host("a0")
+            server = world.host("b0")
+            serving = server.acquire_ephid_direct()
+            client.connect(serving.cert, early_data=b"storm")
+            world.run()
+            # The kill hit the very first burst; the session still
+            # completes once the transport retries (or later bursts pass)
+            # — at minimum the world neither hung nor poisoned.
+            assert plan.injected or plane.stats()["restarts"] == 0
+            stats = plane.stats()
+            assert stats["degraded"] == 0
+        finally:
+            world.close()
+
+    def test_scenario_validates_argument(self):
+        from repro.topology import TopologyError
+
+        with pytest.raises(TopologyError, match="at least one host"):
+            scenarios.spec("crash-storm:0")
