@@ -100,7 +100,7 @@ class IdentityMinter:
         db = self.host.assembly.hostdb
         return sum(
             1
-            for record in db._records.values()
+            for record in db.records()
             if record.subscriber_id == self.host.subscriber_id and not record.revoked
         )
 

@@ -41,7 +41,6 @@ from .hostdb import (
     HID_DNS,
     HID_MANAGEMENT,
     HID_REGISTRY,
-    HostDatabase,
     HostRecord,
 )
 from .infrabus import InfraBus
@@ -52,7 +51,6 @@ from .registry import RegistryService
 from .onetime import DemuxError, FlowTagger, TagDemuxer, pack_tagged, unpack_tagged
 from .replay import ReplayWindow
 from .replay_filter import RotatingReplayFilter
-from .revocation import RevocationList
 from .rpki import RpkiDirectory, TrustAnchor
 from .session import ConnectionAccept, ConnectionRequest, OwnedEphId, Session, SessionError
 
@@ -124,8 +122,10 @@ class ApnaAutonomousSystem:
         #: The live worker pool (see :meth:`start_shard_pool`).
         self.shard_pool = None
         self.ivs = IvAllocator(self.rng, plan=self.shard_plan)
-        self.hostdb = HostDatabase()
-        self.revocations = RevocationList()
+        from ..state import make_host_database, make_revocation_list
+
+        self.hostdb = make_host_database(config.state_backend)
+        self.revocations = make_revocation_list(config.state_backend)
         self.bus = InfraBus(self.keys.secret)
         self.bus.subscribe_revocations(self.revocations)
 
@@ -359,6 +359,58 @@ class ApnaAutonomousSystem:
         self.network.add_node(host)
         self.network.connect(bridge, host, latency=latency, bandwidth=bandwidth)
         return host
+
+    def register_population(self, count: int) -> range:
+        """Bulk-register ``count`` hosts in ``host_info`` (scale presets).
+
+        The hosts get HIDs and kHA subkeys but no simulated nodes — they
+        are the metro-area population the AS is accountable for, against
+        which issuance/verdict machinery is exercised at scale.  Key
+        material comes from one SHAKE-256 keystream seeded by a single
+        ``rng.read(32)`` draw, so the registered keys are identical
+        under both state backends for a given world seed.  On the
+        columnar backend the registration is a few column appends with
+        zero per-host objects; the object backend falls back to
+        per-record inserts over the same keystream.  Returns the
+        registered HID range.
+
+        Must run before :meth:`start_shard_pool`: a bulk load is meant
+        to ride the shard-spawn snapshot, not a million per-host hook
+        fan-outs.
+        """
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        if self.shard_pool is not None:
+            raise ApnaError(
+                "register_population must run before start_shard_pool "
+                "(populations ship with the spawn snapshot)"
+            )
+        from ..state import population_key_material
+
+        seed = self.rng.read(32)
+        material = population_key_material(seed, count)
+        hostdb = self.hostdb
+        bulk = getattr(hostdb, "bulk_register", None)
+        if bulk is not None and hostdb.on_register is None:
+            first = bulk(count, material)
+            return range(first, first + count)
+        first = None
+        for i in range(count):
+            hid = hostdb.allocate_hid()
+            if first is None:
+                first = hid
+            base = i * 32
+            hostdb.register(
+                HostRecord(
+                    hid=hid,
+                    keys=HostAsKeys(
+                        control=material[base : base + 16],
+                        packet_mac=material[base + 16 : base + 32],
+                    ),
+                )
+            )
+        assert first is not None
+        return range(first, first + count)
 
     def _register_host_hid(self, host: "ApnaHostNode") -> None:
         record = self.hostdb.find_by_subscriber(host.subscriber_id)

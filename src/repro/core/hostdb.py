@@ -45,6 +45,10 @@ class HostDatabase:
         #: scan over every record.
         self._by_subscriber: dict[int, int] = {}
         self._next_hid = FIRST_HOST_HID
+        #: Live (non-revoked) record count, so ``len()`` is O(1) instead
+        #: of a scan.  Kept exact by register/revoke_hid and by the
+        #: direct-mutation healing paths below.
+        self._live_count = 0
         #: Optional observers, called after a successful register /
         #: revoke_hid — how a sharded data plane keeps its worker
         #: processes' host views in sync (see :mod:`repro.sharding`).
@@ -75,6 +79,8 @@ class HostDatabase:
                 )
             self._by_subscriber[record.subscriber_id] = record.hid
         self._records[record.hid] = record
+        if not record.revoked:
+            self._live_count += 1
         if self.on_register is not None:
             self.on_register(record)
 
@@ -96,7 +102,16 @@ class HostDatabase:
         record = self._records.get(hid)
         if record is None:
             raise UnknownHostError(f"HID {hid} is not registered")
-        record.revoked = True
+        if not record.revoked:
+            record.revoked = True
+            self._live_count -= 1
+        elif (
+            record.subscriber_id is not None
+            and self._by_subscriber.get(record.subscriber_id) == hid
+        ):
+            # Revoked by direct mutation (the subscriber index was never
+            # healed, so the counter hasn't seen this record yet).
+            self._live_count -= 1
         if (
             record.subscriber_id is not None
             and self._by_subscriber.get(record.subscriber_id) == hid
@@ -113,8 +128,10 @@ class HostDatabase:
         record = self._records[hid]
         if record.revoked:
             # The record was revoked directly (not via revoke_hid); heal
-            # the index so the stale mapping cannot be returned again.
+            # the index so the stale mapping cannot be returned again,
+            # and account the revocation the mutation bypassed.
             del self._by_subscriber[subscriber_id]
+            self._live_count -= 1
             return None
         return record
 
@@ -126,7 +143,7 @@ class HostDatabase:
         return self.is_valid(hid)
 
     def __len__(self) -> int:
-        return sum(1 for r in self._records.values() if not r.revoked)
+        return self._live_count
 
     @property
     def total_registered(self) -> int:

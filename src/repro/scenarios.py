@@ -21,7 +21,7 @@ Parameterised presets take their arguments after a colon: ``"chain:N"``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from .core.config import ApnaConfig
@@ -160,6 +160,58 @@ def _crash_storm(arg: str | None) -> TopologySpec:
             for asys in ("a", "b")
             for i in range(hosts_per_as)
         )
+    )
+
+
+def _scale_int(arg: str, usage: str) -> int:
+    """Parse a host count with optional ``k``/``M`` suffix (``250k``, ``1M``)."""
+    text = arg.strip()
+    multiplier = 1
+    if text and text[-1] in ("k", "K"):
+        multiplier, text = 1_000, text[:-1]
+    elif text and text[-1] in ("m", "M"):
+        multiplier, text = 1_000_000, text[:-1]
+    try:
+        value = int(text)
+    except ValueError:
+        raise TopologyError(
+            f"bad scenario parameter {arg!r}; usage: {usage}"
+        ) from None
+    return value * multiplier
+
+
+@register(
+    "metro",
+    description=(
+        "fig1 pair with a bulk population of N registered HIDs per AS "
+        "(metro:N, k/M suffixes allowed, default 1M); registry state "
+        "only — pair with the columnar state_backend for bounded memory"
+    ),
+)
+def _metro(arg: str | None) -> TopologySpec:
+    """The scale shape: the Fig. 1 pair carrying a metro-sized registry.
+
+    ``metro:1M`` registers 10^6 hosts per AS as packed columns (no
+    per-host objects on the columnar ``state_backend``), plus the named
+    ``alice``/``bob`` pair so protocol-level traffic still works.  The
+    population is pure ``host_info`` state — the paper's §V-A2 registry
+    at the AS sizes its tables are dimensioned for.
+    """
+    usage = "metro:N (e.g. metro:250k, metro:1M)"
+    hosts_per_as = 1_000_000 if arg is None else _scale_int(arg, usage)
+    if hosts_per_as < 1:
+        raise TopologyError(
+            f"metro needs at least one host per AS, got {hosts_per_as}"
+        )
+    from .topology import HostSpec, PopulationSpec
+
+    spec = TopologySpec.fig1()
+    return replace(
+        spec.with_hosts(HostSpec("alice", at="a"), HostSpec("bob", at="b")),
+        populations=(
+            PopulationSpec("a", hosts_per_as),
+            PopulationSpec("b", hosts_per_as),
+        ),
     )
 
 

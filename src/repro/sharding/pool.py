@@ -472,32 +472,30 @@ class ShardedDataPlane:
         replay_bits: int = 1 << 20,
         start_method: "str | None" = None,
         supervision: "SupervisorPolicy | None" = None,
+        state_backend: str = "object",
     ) -> "ShardedDataPlane":
         """Build a pool from explicit AS parts (shared keys, sharded state).
 
         ``hostdb`` / ``revocations`` are snapshotted into the worker
-        specs; later changes propagate only through
+        specs — as encoded :class:`repro.state.ShardSnapshot` columns,
+        the same bytes a later ``MSG_RESYNC`` would carry; later changes
+        propagate only through
         :meth:`register_host` / :meth:`revoke_ephid` / :meth:`revoke_hid`
         (the AS assembly wires those to its database hooks).  They are
         also retained as the *authoritative* state source: a restarted
         worker is resynced from them, and the degraded in-process
-        fallback reads them directly.
+        fallback reads them directly.  ``state_backend`` picks the
+        workers' replica store (``"columnar"`` / ``"object"``).
         """
         plan = plan or ShardPlan(nshards)
         if plan.nshards != nshards:
             raise ValueError(
                 f"plan is for {plan.nshards} shards, pool wants {nshards}"
             )
-        records = list(hostdb.records())
-        live = tuple(r.hid for r in records if not r.revoked)
-        revoked_snapshot = tuple(revocations.snapshot())
+        state_source = ShardStateSource(hostdb, revocations)
         specs = []
         for shard in range(nshards):
-            owned = tuple(
-                (r.hid, r.keys.control, r.keys.packet_mac, r.revoked)
-                for r in records
-                if plan.owner_of(r.hid) == shard
-            )
+            snap = state_source.shard_snapshot(plan, shard)
             specs.append(
                 ShardSpec(
                     shard=shard,
@@ -510,9 +508,9 @@ class ShardedDataPlane:
                     with_nonce=with_nonce,
                     replay_window=replay_window,
                     replay_bits=replay_bits,
-                    owned_hosts=owned,
-                    live_hids=live,
-                    revoked_ephids=revoked_snapshot,
+                    shard_block=plan.block,
+                    state_backend=state_backend,
+                    snapshot=snap.encode(),
                 )
             )
         return cls(
@@ -521,7 +519,7 @@ class ShardedDataPlane:
             aid=aid,
             start_method=start_method,
             supervision=supervision,
-            state_source=ShardStateSource(hostdb, revocations),
+            state_source=state_source,
         )
 
     @classmethod
@@ -578,6 +576,7 @@ class ShardedDataPlane:
             replay_bits=config.replay_filter_bits,
             start_method=start_method,
             supervision=SupervisorPolicy.from_config(config),
+            state_backend=config.state_backend,
         )
 
     # -- fault injection ----------------------------------------------------

@@ -95,25 +95,17 @@ class ShardStateSource:
         self.hostdb = hostdb
         self.revocations = revocations
 
-    def shard_state(
-        self, plan: "ShardPlan", shard: int
-    ) -> "tuple[list, list, list]":
-        """``(owned, live_hids, revoked)`` for one shard, resync-ready."""
-        owned = []
-        live = []
-        for record in self.hostdb.records():
-            if not record.revoked:
-                live.append(record.hid)
-            if plan.owner_of(record.hid) == shard:
-                owned.append(
-                    (
-                        record.hid,
-                        record.keys.control,
-                        record.keys.packet_mac,
-                        record.revoked,
-                    )
-                )
-        return owned, live, list(self.revocations.snapshot())
+    def shard_snapshot(self, plan: "ShardPlan", shard: int):
+        """One shard's :class:`repro.state.ShardSnapshot`, resync-ready.
+
+        Columnar stores export their packed columns wholesale; object
+        stores fall back to a per-record walk.  Either way the result is
+        the same wire bytes, which is what keeps resync equivalent
+        across ``state_backend`` values.
+        """
+        from ..state.snapshot import build_shard_snapshot
+
+        return build_shard_snapshot(self.hostdb, self.revocations, plan, shard)
 
 
 class ShardSupervisor:
@@ -135,10 +127,7 @@ class ShardSupervisor:
         #: a respawned worker starts empty and MSG_RESYNC is the single
         #: source of its state.
         self._bare_specs = [
-            dataclasses.replace(
-                spec, owned_hosts=(), live_hids=(), revoked_ephids=()
-            )
-            for spec in specs
+            dataclasses.replace(spec, snapshot=b"") for spec in specs
         ]
         self._state = state
         self.policy = policy
@@ -189,10 +178,8 @@ class ShardSupervisor:
         """Replay the authoritative state into a fresh worker and wait
         for its ack (bounded by the same reply timeout as bursts)."""
         assert self._state is not None
-        owned, live, revoked = self._state.shard_state(self._plan, shard)
-        self._pool.send_bytes(
-            shard, wire.encode_resync(owned, live, revoked)
-        )
+        snap = self._state.shard_snapshot(self._plan, shard)
+        self._pool.send_bytes(shard, wire.encode_resync(snap))
         reply = self._pool.recv_bytes(
             shard, timeout=self.policy.reply_timeout
         )
@@ -200,13 +187,13 @@ class ShardSupervisor:
             kind = reply[0] if reply else None
             raise wire_ack_error(shard, kind)
         acked_owned, acked_revoked = wire.decode_resync_ack(reply)
-        if acked_owned != len(owned) or acked_revoked != len(revoked):
+        if acked_owned != snap.owned_count or acked_revoked != snap.revoked_count:
             raise wire_ack_error(
                 shard,
                 wire.MSG_RESYNC_ACK,
                 detail=(
                     f"acked {acked_owned} hosts/{acked_revoked} revocations, "
-                    f"sent {len(owned)}/{len(revoked)}"
+                    f"sent {snap.owned_count}/{snap.revoked_count}"
                 ),
             )
 

@@ -175,56 +175,23 @@ def decode_stats(msg: bytes) -> "dict[str, int]":
 #: One message carries everything a fresh shard needs — its owned host
 #: records (keys included), the replicated live-HID view and the
 #: revocation-list snapshot — so the restart is a single ordered
-#: request/ack exchange on the same pipe as the bursts.
-_RESYNC_HEAD = struct.Struct(">BIII")  # kind, n_owned, n_live, n_revoked
-_RESYNC_OWNED = struct.Struct(">IB16s16s")  # hid, revoked, control, mac
-_RESYNC_LIVE = struct.Struct(">I")  # hid
-_RESYNC_REVOKED = struct.Struct(">d16s")  # exp_time, ephid
+#: request/ack exchange on the same pipe as the bursts.  The payload is
+#: a :class:`repro.state.ShardSnapshot` verbatim: packed columns, not
+#: per-record frames, so resyncing a million-host shard is a handful of
+#: buffer copies on both ends (and the same bytes the initial
+#: ``ShardSpec`` embeds — one serialisation of shard state).
 
 
-def encode_resync(
-    owned: "list[tuple[int, bytes, bytes, bool]]",
-    live_hids: "list[int]",
-    revoked: "list[tuple[bytes, float]]",
-) -> bytes:
-    """Pack a full shard-state resync: ``owned`` is ``(hid, control,
-    packet_mac, revoked)`` for the HIDs this shard owns, ``live_hids``
-    the replicated validity view, ``revoked`` the ``(ephid, exp_time)``
-    revocation snapshot."""
-    parts = [
-        _RESYNC_HEAD.pack(MSG_RESYNC, len(owned), len(live_hids), len(revoked))
-    ]
-    for hid, control, packet_mac, is_revoked in owned:
-        parts.append(
-            _RESYNC_OWNED.pack(hid, 1 if is_revoked else 0, control, packet_mac)
-        )
-    for hid in live_hids:
-        parts.append(_RESYNC_LIVE.pack(hid))
-    for ephid, exp_time in revoked:
-        parts.append(_RESYNC_REVOKED.pack(exp_time, ephid))
-    return b"".join(parts)
+def encode_resync(snapshot) -> bytes:
+    """Frame a :class:`repro.state.ShardSnapshot` as a resync message."""
+    return bytes([MSG_RESYNC]) + snapshot.encode()
 
 
-def decode_resync(
-    msg: bytes,
-) -> "tuple[list[tuple[int, bytes, bytes, bool]], list[int], list[tuple[bytes, float]]]":
-    _, n_owned, n_live, n_revoked = _RESYNC_HEAD.unpack_from(msg)
-    offset = _RESYNC_HEAD.size
-    owned = []
-    for _ in range(n_owned):
-        hid, is_revoked, control, packet_mac = _RESYNC_OWNED.unpack_from(msg, offset)
-        offset += _RESYNC_OWNED.size
-        owned.append((hid, control, packet_mac, bool(is_revoked)))
-    live = []
-    for _ in range(n_live):
-        live.append(_RESYNC_LIVE.unpack_from(msg, offset)[0])
-        offset += _RESYNC_LIVE.size
-    revoked = []
-    for _ in range(n_revoked):
-        exp_time, ephid = _RESYNC_REVOKED.unpack_from(msg, offset)
-        offset += _RESYNC_REVOKED.size
-        revoked.append((ephid, exp_time))
-    return owned, live, revoked
+def decode_resync(msg: bytes):
+    """The :class:`repro.state.ShardSnapshot` carried by a resync frame."""
+    from ..state.snapshot import ShardSnapshot
+
+    return ShardSnapshot.decode(memoryview(msg)[1:])
 
 
 def encode_resync_ack(owned_count: int, revoked_count: int) -> bytes:

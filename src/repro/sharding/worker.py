@@ -33,6 +33,9 @@ from ..core.errors import RevokedError, UnknownHostError
 from ..core.keys import HostAsKeys
 from ..core.replay_filter import RotatingReplayFilter
 from ..core.revocation import RevocationList
+from ..state.revlist import ColumnarRevocationList
+from ..state.snapshot import ShardSnapshot
+from ..state.view import ColumnarShardView
 from ..wire.apna import ApnaPacket
 from . import wire
 
@@ -56,12 +59,15 @@ class ShardSpec:
     #: ``None`` disables the in-network replay filter.
     replay_window: "float | None"
     replay_bits: int
-    #: (hid, control_key, packet_mac_key, revoked) for owned HIDs.
-    owned_hosts: "tuple[tuple[int, bytes, bytes, bool], ...]"
-    #: Every live HID of the AS (owned or not) — the replicated validity view.
-    live_hids: "tuple[int, ...]"
-    #: (ephid, exp_time) replica of the AS revocation list.
-    revoked_ephids: "tuple[tuple[bytes, float], ...]"
+    #: Consecutive HIDs per shard-ownership block (``ShardPlan.block``).
+    shard_block: int
+    #: Which store backs the worker's replica: ``"columnar"`` (dense
+    #: :mod:`repro.state` columns, zero per-host objects) or ``"object"``.
+    state_backend: str
+    #: Encoded :class:`repro.state.ShardSnapshot` — the shard's owned
+    #: host rows, the replicated live-HID view and the revocation-list
+    #: replica, as packed columns.  Empty means an empty shard.
+    snapshot: bytes
 
 
 @dataclass
@@ -82,13 +88,21 @@ class ShardHostView:
     IV-pinned routing guarantees are local).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, key_pool: "dict[bytes, bytes] | None" = None) -> None:
         self._owned: dict[int, _OwnedRecord] = {}
         self._live: set[int] = set()
+        #: Interning pool for kHA subkey bytes.  A worker that resyncs
+        #: keeps one pool across view incarnations, so re-shipped keys
+        #: alias the buffers the previous incarnation already held
+        #: instead of duplicating 32 B per host per resync.
+        self._key_pool: dict[bytes, bytes] = key_pool if key_pool is not None else {}
 
     def add_owned(
         self, hid: int, control: bytes, packet_mac: bytes, *, revoked: bool = False
     ) -> None:
+        pool = self._key_pool
+        control = pool.setdefault(control, control)
+        packet_mac = pool.setdefault(packet_mac, packet_mac)
         self._owned[hid] = _OwnedRecord(
             hid, HostAsKeys(control=control, packet_mac=packet_mac), revoked=revoked
         )
@@ -146,11 +160,17 @@ class ShardState:
             crypto_backend.set_backend(spec.crypto_backend)
         self.spec = spec
         self.clock = _SettableClock()
-        self._build_state(
-            spec.owned_hosts, spec.live_hids, spec.revoked_ephids
+        #: Shared across view incarnations so resyncs re-intern instead
+        #: of re-allocating key bytes (object backend only).
+        self._key_pool: dict[bytes, bytes] = {}
+        snap = (
+            ShardSnapshot.decode(spec.snapshot)
+            if spec.snapshot
+            else ShardSnapshot.empty()
         )
+        self._build_state(snap)
 
-    def _build_state(self, owned_hosts, live_hids, revoked_ephids) -> None:
+    def _build_state(self, snap: ShardSnapshot) -> None:
         """(Re)build the shard's mutable state around fixed spec keys.
 
         Called at construction and again on :data:`wire.MSG_RESYNC` —
@@ -162,14 +182,26 @@ class ShardState:
         from.
         """
         spec = self.spec
-        self.hosts = ShardHostView()
-        for hid, control, packet_mac, revoked in owned_hosts:
-            self.hosts.add_owned(hid, control, packet_mac, revoked=revoked)
-        for hid in live_hids:
-            self.hosts.set_live(hid)
-        self.revocations = RevocationList()
-        for ephid, exp_time in revoked_ephids:
-            self.revocations.add(ephid, exp_time)
+        if spec.state_backend == "columnar":
+            # Column blobs load wholesale: the snapshot's packed arrays
+            # become the view's backing stores with no per-host objects.
+            hosts = ColumnarShardView(
+                shard=spec.shard, nshards=spec.nshards, block=spec.shard_block
+            )
+            hosts.load_snapshot(snap)
+            self.hosts = hosts
+            revocations = ColumnarRevocationList()
+            revocations.load_packed(snap.rev_exp, snap.rev_ephids)
+            self.revocations = revocations
+        else:
+            self.hosts = ShardHostView(key_pool=self._key_pool)
+            for hid, control, packet_mac, revoked in snap.iter_owned():
+                self.hosts.add_owned(hid, control, packet_mac, revoked=revoked)
+            for hid in snap.iter_live():
+                self.hosts.set_live(hid)
+            self.revocations = RevocationList()
+            for ephid, exp_time in snap.iter_revoked():
+                self.revocations.add(ephid, exp_time)
         replay_filter = None
         if spec.replay_window is not None:
             replay_filter = RotatingReplayFilter(
@@ -217,9 +249,9 @@ class ShardState:
             self.hosts.set_live(hid)
 
     def handle_resync(self, msg: bytes) -> bytes:
-        owned, live, revoked = wire.decode_resync(msg)
-        self._build_state(owned, live, revoked)
-        return wire.encode_resync_ack(len(owned), len(revoked))
+        snap = wire.decode_resync(msg)
+        self._build_state(snap)
+        return wire.encode_resync_ack(snap.owned_count, snap.revoked_count)
 
     def stats(self) -> bytes:
         router = self.router

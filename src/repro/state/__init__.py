@@ -1,0 +1,99 @@
+"""``repro.state`` — columnar million-host state storage.
+
+The paper's accountability machinery keeps three per-AS stores:
+``host_info`` (HID -> kHA subkeys, Section V-A2), ``revoked_ids``
+(the revocation list, IV-E), and — in this reproduction's sharded data
+plane — per-worker replicas of both.  The default implementations are
+per-host Python objects; at the ROADMAP's "millions of users" scale,
+RAM and GC, not crypto, become the cap.  This package re-backs all of
+them with columnar storage behind the exact same duck-typed APIs:
+
+**Dense-HID index.**  Host HIDs are allocated sequentially from
+``FIRST_HOST_HID``, so ``row = hid - FIRST_HOST_HID`` indexes flat
+columns directly — no hash table, no per-host key objects.  Service
+HIDs (a handful per AS, below ``FIRST_HOST_HID``) keep ordinary
+:class:`~repro.core.hostdb.HostRecord` objects.
+
+**Column layout.**  :class:`ColumnarHostDatabase` holds one flags byte
+(registered/revoked), one 32-byte kHA key slot (control || packet_mac,
+pooled in a single ``bytearray``), one subscriber id (``array('q')``,
+-1 for none) and two EphID counters (``array('I')``) per row — ~53 B
+per registered host and zero Python objects until a caller materialises
+a :class:`~repro.state.columns.HostRef` row proxy.
+:class:`ColumnarRevocationList` stores ``revoked_ids`` as an expiry
+column plus a pooled EphID blob; :class:`ColumnarShardView` compacts a
+shard's owned block-stripe to its own dense row space worker-side.
+
+**Snapshot codec.**  :class:`ShardSnapshot` packs one shard's owned
+keys, replicated live-HID view and revocation replica as length-
+prefixed big-endian columns.  ``MSG_RESYNC`` frames carry its
+``encode()`` output verbatim and the initial ``ShardSpec`` embeds the
+same bytes, so spawning and resyncing a million-host shard is a few
+buffer copies (numpy-gathered when available, stdlib ``array``
+otherwise) instead of per-record ``struct.pack`` loops.
+
+The ``state_backend`` config knob ("columnar" by default, "object" for
+the original stores) selects the implementation through the factories
+below; everything downstream sees only the shared duck-typed surface
+(``get``/``is_valid``/``records``/``on_register``/``on_revoke_hid``/
+``on_add``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..core.hostdb import HostDatabase
+from ..core.revocation import RevocationList
+from .columns import ColumnarHostDatabase, HostRef
+from .revlist import ColumnarRevocationList
+from .snapshot import HAVE_NUMPY, KEY_BYTES, ShardSnapshot, build_shard_snapshot
+from .view import ColumnarShardView
+
+__all__ = [
+    "HAVE_NUMPY",
+    "ColumnarHostDatabase",
+    "ColumnarRevocationList",
+    "ColumnarShardView",
+    "HostRef",
+    "ShardSnapshot",
+    "build_shard_snapshot",
+    "make_host_database",
+    "make_revocation_list",
+    "population_key_material",
+]
+
+_BACKENDS = ("object", "columnar")
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown state backend {backend!r}; expected one of {_BACKENDS}"
+        )
+
+
+def make_host_database(backend: str = "columnar"):
+    """``host_info`` for the requested ``state_backend``."""
+    _check_backend(backend)
+    return ColumnarHostDatabase() if backend == "columnar" else HostDatabase()
+
+
+def make_revocation_list(backend: str = "columnar", *, auto_prune: bool = True):
+    """``revoked_ids`` for the requested ``state_backend``."""
+    _check_backend(backend)
+    if backend == "columnar":
+        return ColumnarRevocationList(auto_prune=auto_prune)
+    return RevocationList(auto_prune=auto_prune)
+
+
+def population_key_material(seed: bytes, count: int) -> bytes:
+    """Deterministic kHA keystream for a bulk-registered population.
+
+    One SHAKE-256 squeeze of ``count`` 32-byte rows (control ||
+    packet_mac per host) — drawing a million hosts' keys through the
+    per-call AES rng would dominate build time.  The same seed yields
+    the same keystream on every backend, which is what keeps
+    object/columnar worlds bit-identical.
+    """
+    return hashlib.shake_256(seed).digest(KEY_BYTES * count)

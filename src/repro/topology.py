@@ -44,6 +44,7 @@ __all__ = [
     "DuplicateHostError",
     "HostSpec",
     "LinkSpec",
+    "PopulationSpec",
     "TopologyError",
     "TopologySpec",
     "UnknownAsError",
@@ -132,6 +133,23 @@ class HostSpec:
 
 
 @dataclass(frozen=True)
+class PopulationSpec:
+    """A bulk host population: ``hosts`` registered HIDs on one AS.
+
+    Unlike :class:`HostSpec`, a population creates no simulated host
+    nodes, no access links and no protocol bootstrap — only registry
+    state (HIDs and kHA subkeys in the AS's ``host_info``), which is
+    what million-host scale experiments need.  Registered via
+    :meth:`repro.core.autonomous_system.ApnaAutonomousSystem.
+    register_population`, so a columnar ``state_backend`` holds the
+    whole population in packed columns with no per-host objects.
+    """
+
+    at: str
+    hosts: int
+
+
+@dataclass(frozen=True)
 class TopologySpec:
     """A declarative internet: ASes, links and host placements.
 
@@ -143,6 +161,7 @@ class TopologySpec:
     ases: tuple[AsSpec, ...] = ()
     links: tuple[LinkSpec, ...] = ()
     hosts: tuple[HostSpec, ...] = ()
+    populations: tuple[PopulationSpec, ...] = ()
 
     # -- validation --------------------------------------------------------
 
@@ -182,6 +201,14 @@ class TopologySpec:
             if host.at not in known:
                 raise UnknownAsError(host.at, sorted(known))
             _resolve_policy(host.policy)
+        for population in self.populations:
+            if population.at not in known:
+                raise UnknownAsError(population.at, sorted(known))
+            if population.hosts < 1:
+                raise TopologyError(
+                    f"population at {population.at!r} needs at least one "
+                    f"host, got {population.hosts}"
+                )
         return self
 
     # -- composition -------------------------------------------------------
@@ -394,6 +421,11 @@ class World:
                 bandwidth=host.bandwidth,
                 policy=host.policy,
             )
+        # Bulk populations register before any shard pool spawns, so
+        # they ship with the workers' spawn snapshots instead of as
+        # per-host control frames.
+        for population in spec.populations:
+            by_name[population.at].register_population(population.hosts)
         network.compute_routes()
         if config.forwarding_shards >= 2:
             # Spawn each AS's persistent worker shards now that every
@@ -633,6 +665,7 @@ class WorldBuilder:
         self._ases: list[AsSpec] = []
         self._links: list[LinkSpec] = []
         self._hosts: list[HostSpec] = []
+        self._populations: list[PopulationSpec] = []
 
     # -- deployment knobs ----------------------------------------------------
 
@@ -794,6 +827,22 @@ class WorldBuilder:
         )
         return self
 
+    def population(self, hosts: int, *, at: str) -> "WorldBuilder":
+        """Register ``hosts`` bulk HIDs on a declared AS at build time.
+
+        Registry state only (no host nodes, no links, no bootstrap) —
+        the scale substrate for ``metro:N``-style worlds.
+        """
+        known = {spec.name for spec in self._ases}
+        if at not in known:
+            raise UnknownAsError(at, sorted(known))
+        if hosts < 1:
+            raise TopologyError(
+                f"population at {at!r} needs at least one host, got {hosts}"
+            )
+        self._populations.append(PopulationSpec(at, hosts))
+        return self
+
     # -- output -------------------------------------------------------------------
 
     def spec(self) -> TopologySpec:
@@ -802,6 +851,7 @@ class WorldBuilder:
             ases=tuple(self._ases),
             links=tuple(self._links),
             hosts=tuple(self._hosts),
+            populations=tuple(self._populations),
         ).validate()
 
     def build(self) -> World:

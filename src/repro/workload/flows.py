@@ -79,19 +79,25 @@ class TraceGenerator:
 
     def durations(self, n: int) -> np.ndarray:
         """Dragonfly/tortoise mixture, calibrated to ~98% under 15 min."""
+        return self._durations_with(self._rng, n)
+
+    def _durations_with(self, rng: np.random.Generator, n: int) -> np.ndarray:
         cfg = self.config
-        is_tortoise = self._rng.uniform(size=n) < cfg.tortoise_fraction
+        is_tortoise = rng.uniform(size=n) < cfg.tortoise_fraction
         # Dragonflies: lognormal, median ~8 s, sigma wide but bounded.
-        dragonflies = self._rng.lognormal(mean=np.log(8.0), sigma=1.6, size=n)
+        dragonflies = rng.lognormal(mean=np.log(8.0), sigma=1.6, size=n)
         # Tortoises: Pareto tail starting at 15 minutes.
-        tortoises = 900.0 * (1.0 + self._rng.pareto(1.2, size=n))
+        tortoises = 900.0 * (1.0 + rng.pareto(1.2, size=n))
         return np.where(is_tortoise, tortoises, np.minimum(dragonflies, 890.0))
 
     def hosts_for(self, n: int) -> np.ndarray:
         """Skewed host activity via a Zipf-like draw over the host space."""
+        return self._hosts_with(self._rng, n)
+
+    def _hosts_with(self, rng: np.random.Generator, n: int) -> np.ndarray:
         cfg = self.config
-        ranks = self._rng.zipf(1.2, size=n)
-        return (ranks + self._rng.integers(0, cfg.hosts, size=n)) % cfg.hosts
+        ranks = rng.zipf(1.2, size=n)
+        return (ranks + rng.integers(0, cfg.hosts, size=n)) % cfg.hosts
 
     def generate(self) -> Iterator[FlowRecord]:
         """The full time-sorted trace."""
@@ -119,3 +125,61 @@ class TraceGenerator:
             "host_id": self.hosts_for(n),
             "is_https": self._rng.uniform(size=n) < self.config.https_fraction,
         }
+
+    def iter_arrays(
+        self, *, chunk_duration: float = 3_600.0
+    ) -> "Iterator[dict[str, np.ndarray]]":
+        """Lazily yield column chunks over consecutive time slices.
+
+        The streaming counterpart of :meth:`generate_arrays` for traces
+        too large to materialise: each chunk covers ``chunk_duration``
+        trace seconds and is drawn from its own ``(seed, chunk_index)``
+        generator, so chunk ``k`` is reproducible without generating
+        chunks ``0..k-1`` and memory stays bounded by one slice whatever
+        the total trace size.  Starts are sorted within each slice and
+        slices are consecutive, so the concatenated stream is globally
+        time-sorted.  (The draw scheme differs from the one-shot
+        generator's, so the streamed trace is statistically — not
+        bit- — identical to :meth:`generate_arrays` at equal seeds.)
+        """
+        if chunk_duration <= 0:
+            raise ValueError(f"chunk_duration must be positive, got {chunk_duration}")
+        cfg = self.config
+        peak_rate = cfg.peak_per_host * cfg.hosts
+        chunk_index = 0
+        slice_start = 0.0
+        while slice_start < cfg.duration:
+            slice_end = min(slice_start + chunk_duration, cfg.duration)
+            rng = np.random.default_rng((cfg.seed, chunk_index))
+            expected = peak_rate * (slice_end - slice_start)
+            n_candidates = rng.poisson(expected)
+            candidates = rng.uniform(slice_start, slice_end, size=n_candidates)
+            keep = rng.uniform(size=n_candidates) < self._intensity(candidates)
+            starts = np.sort(candidates[keep])
+            n = len(starts)
+            yield {
+                "start": starts,
+                "duration": self._durations_with(rng, n),
+                "host_id": self._hosts_with(rng, n),
+                "is_https": rng.uniform(size=n) < cfg.https_fraction,
+            }
+            slice_start = slice_end
+            chunk_index += 1
+
+    def stream(
+        self, *, chunk_duration: float = 3_600.0
+    ) -> Iterator[FlowRecord]:
+        """Lazy, globally time-sorted :class:`FlowRecord` stream (the
+        per-row view of :meth:`iter_arrays`; same chunked draw scheme)."""
+        for columns in self.iter_arrays(chunk_duration=chunk_duration):
+            starts = columns["start"]
+            durations = columns["duration"]
+            hosts = columns["host_id"]
+            https = columns["is_https"]
+            for i in range(len(starts)):
+                yield FlowRecord(
+                    start=float(starts[i]),
+                    duration=float(durations[i]),
+                    host_id=int(hosts[i]),
+                    is_https=bool(https[i]),
+                )

@@ -101,6 +101,15 @@ class TrafficProfile:
     #: Echo a response for each delivered request.
     respond: bool = True
     port: int = 80
+    #: Generate the trace lazily (:meth:`TraceGenerator.iter_arrays`)
+    #: and interleave generation with simulation, one time slice at a
+    #: time — memory stays bounded by one slice however long the trace.
+    #: The chunked draw scheme differs from the one-shot generator's,
+    #: so a streamed run is statistically (not bit-) identical to the
+    #: default materialising run at equal seeds.
+    stream: bool = False
+    #: Trace seconds per streamed slice (only with ``stream=True``).
+    stream_chunk: float = 3_600.0
     #: Attached host names are ``<prefix>-c<i>`` / ``<prefix>-s<j>``.
     #: Re-driving the same world auto-bumps the prefix (``traffic2``, ...)
     #: so each run gets a fresh, non-colliding set of endpoints.
@@ -170,28 +179,33 @@ class TrafficProfile:
             server.listen(self.port, _serve(server))
             server_certs.append(server.acquire_ephid_direct().cert)
 
-        columns = TraceGenerator(self.trace).generate_arrays()
-        starts = columns["start"]
-        host_ids = columns["host_id"]
-        n = len(starts)
-        if self.max_flows is not None:
-            n = min(n, self.max_flows)
         scale = self.window / self.trace.duration
-
         opened = {"count": 0}
-
-        def _launch(index: int) -> None:
-            client = clients[int(host_ids[index]) % len(clients)]
-            cert = server_certs[index % len(server_certs)]
-            client.connect(cert, early_data=self.payload, dst_port=self.port)
-            opened["count"] += 1
-
         scheduler = world.network.scheduler
-        for group_start in range(0, n, self.burst):
-            when = scheduler.now + float(starts[group_start]) * scale
-            for index in range(group_start, min(group_start + self.burst, n)):
-                scheduler.schedule_at(when, _launch, index)
-        events = world.run()
+
+        if self.stream:
+            n, events = self._drive_stream(
+                world, clients, server_certs, scheduler, scale, opened
+            )
+        else:
+            columns = TraceGenerator(self.trace).generate_arrays()
+            starts = columns["start"]
+            host_ids = columns["host_id"]
+            n = len(starts)
+            if self.max_flows is not None:
+                n = min(n, self.max_flows)
+
+            def _launch(index: int) -> None:
+                client = clients[int(host_ids[index]) % len(clients)]
+                cert = server_certs[index % len(server_certs)]
+                client.connect(cert, early_data=self.payload, dst_port=self.port)
+                opened["count"] += 1
+
+            for group_start in range(0, n, self.burst):
+                when = scheduler.now + float(starts[group_start]) * scale
+                for index in range(group_start, min(group_start + self.burst, n)):
+                    scheduler.schedule_at(when, _launch, index)
+            events = world.run()
 
         return TrafficReport(
             flows_offered=n,
@@ -204,3 +218,50 @@ class TrafficProfile:
             events=events,
             by_server=delivered_by_server,
         )
+
+    def _drive_stream(
+        self, world, clients, server_certs, scheduler, scale, opened
+    ) -> "tuple[int, int]":
+        """Streamed replay: schedule one trace slice, simulate it, repeat.
+
+        The scheduler never holds more than one slice's launches, so an
+        arbitrarily long trace drives the world in bounded memory.
+        Bursts group within a slice (a burst never straddles slices).
+        Returns ``(flows_offered, events)``.
+        """
+
+        def _launch(host_id: int, index: int) -> None:
+            client = clients[host_id % len(clients)]
+            cert = server_certs[index % len(server_certs)]
+            client.connect(cert, early_data=self.payload, dst_port=self.port)
+            opened["count"] += 1
+
+        base = scheduler.now
+        offered = 0
+        events = 0
+        slice_end = 0.0
+        generator = TraceGenerator(self.trace)
+        for columns in generator.iter_arrays(chunk_duration=self.stream_chunk):
+            slice_end = min(slice_end + self.stream_chunk, self.trace.duration)
+            starts = columns["start"]
+            host_ids = columns["host_id"]
+            n = len(starts)
+            if self.max_flows is not None:
+                n = min(n, self.max_flows - offered)
+            for group_start in range(0, n, self.burst):
+                when = base + float(starts[group_start]) * scale
+                for index in range(group_start, min(group_start + self.burst, n)):
+                    scheduler.schedule_at(
+                        when,
+                        _launch,
+                        int(host_ids[index]),
+                        offered + index,
+                    )
+            offered += n
+            # Drain this slice before generating the next: launches are
+            # all at or before the slice boundary's virtual instant.
+            events += world.run_until(base + slice_end * scale)
+            if self.max_flows is not None and offered >= self.max_flows:
+                break
+        events += world.run()
+        return offered, events

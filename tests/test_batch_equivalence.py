@@ -24,25 +24,34 @@ from repro.wire.apna import Endpoint
 from tests.conftest import build_world
 
 BACKENDS = crypto_backend.available_backends()
+#: The columnar and object state stores must be indistinguishable to the
+#: batch pipeline (see repro.state).
+STATE_BACKENDS = ("object", "columnar")
 
 WINDOW = 900.0
 BITS = 1 << 14
 
 
-@pytest.fixture(params=BACKENDS)
+@pytest.fixture(
+    params=[(c, s) for c in BACKENDS for s in STATE_BACKENDS],
+    ids=lambda p: f"{p[0]}-{p[1]}",
+)
 def burst_world(request):
-    """A replay-protected world whose crypto is pinned to one backend."""
-    with crypto_backend.use_backend(request.param):
+    """A replay-protected world pinned to one crypto backend and one
+    state backend."""
+    crypto, state_backend = request.param
+    with crypto_backend.use_backend(crypto):
         world = build_world(
             config=ApnaConfig(
                 replay_protection=True,
                 in_network_replay_filter=True,
                 replay_filter_window=WINDOW,
                 replay_filter_bits=BITS,
+                state_backend=state_backend,
             ),
             host_names=("alice", "bob", "carol"),  # alice, carol on AS 100
         )
-        world.crypto_backend = request.param
+        world.crypto_backend = crypto
     return world
 
 

@@ -28,9 +28,12 @@ BACKENDS = crypto_backend.available_backends()
 WINDOW = 900.0
 BITS = 1 << 16
 SHARD_COUNTS = (2, 3)
+#: Both state stores must produce bit-identical verdicts and counters
+#: (the repro.state columnar stores vs the original object stores).
+STATE_BACKENDS = ("object", "columnar")
 
 
-def _build_world(backend, nshards):
+def _build_world(backend, nshards, state_backend="columnar"):
     with crypto_backend.use_backend(backend):
         world = build_world(
             config=ApnaConfig(
@@ -39,6 +42,7 @@ def _build_world(backend, nshards):
                 replay_filter_window=WINDOW,
                 replay_filter_bits=BITS,
                 forwarding_shards=nshards,
+                state_backend=state_backend,
             ),
             host_names=("alice", "bob", "carol", "dave", "erin"),
         )
@@ -76,6 +80,7 @@ def _fresh_plane(world, nshards):
         with_nonce=True,
         replay_window=WINDOW,
         replay_bits=BITS,
+        state_backend=world.config.state_backend,
     )
 
 
@@ -183,11 +188,12 @@ def _assert_counters_match(plane, router):
         assert stats["replay_replays"] == router.replay_filter.replays
 
 
+@pytest.mark.parametrize("state_backend", STATE_BACKENDS)
 @pytest.mark.parametrize("nshards", SHARD_COUNTS)
 @pytest.mark.parametrize("backend", BACKENDS)
 class TestShardedEquivalence:
-    def test_fuzzed_egress_bursts(self, backend, nshards):
-        world = _build_world(backend, nshards)
+    def test_fuzzed_egress_bursts(self, backend, nshards, state_backend):
+        world = _build_world(backend, nshards, state_backend)
         world.network.run_until(5.0)  # expire the crafted exp_time=1 EphID
         rng = random.Random(0x5AD + nshards)
         build, revocable = _packet_mix(world, rng)
@@ -230,10 +236,10 @@ class TestShardedEquivalence:
             world.as_a.revocations.on_add = None
             plane.close()
 
-    def test_fuzzed_mixed_direction_bursts(self, backend, nshards):
+    def test_fuzzed_mixed_direction_bursts(self, backend, nshards, state_backend):
         """Egress and ingress interleaved in one burst, the way the
         border-router node drains them (egress subset first)."""
-        world = _build_world(backend, nshards)
+        world = _build_world(backend, nshards, state_backend)
         world.network.run_until(5.0)
         rng = random.Random(0xB0B + nshards)
         build, _ = _packet_mix(world, rng)
@@ -277,10 +283,10 @@ class TestShardedEquivalence:
         finally:
             plane.close()
 
-    def test_replay_duplicates_straddle_shards(self, backend, nshards):
+    def test_replay_duplicates_straddle_shards(self, backend, nshards, state_backend):
         """The same duplicate pair, repeated across hosts on different
         shards, is flagged identically in both planes."""
-        world = _build_world(backend, nshards)
+        world = _build_world(backend, nshards, state_backend)
         rng = random.Random(1)
         build, _ = _packet_mix(world, rng)
         router = _reference_router(world)
