@@ -25,6 +25,12 @@ full failure cycle (worker SIGKILL → drop-and-count → respawn + state
 resync → first clean burst), and ``test_supervision_steady_state_overhead``
 compares the bounded ``poll``-then-``recv`` reply wait the supervisor
 needs against the old blocking ``recv`` on the no-failure path.
+
+PR 8 adds ``test_dispatch_preroute_routing_mode``: the burst pre-route
+(one ``owners_of_iv_bytes`` call over a 64-IV column) under the default
+PRF-keyed map vs the legacy residue map — the acceptance bar is keyed
+within ~10% of residue at burst 64 on openssl, which one bulk CMAC over
+the whole column buys.
 """
 
 import os
@@ -185,6 +191,41 @@ def test_dispatch_only_routing(benchmark, sharded_plane):
     benchmark.extra_info["crypto_backend"] = backend
     benchmark.extra_info["shards"] = nshards
     benchmark.extra_info["burst_size"] = BURST
+
+
+@pytest.mark.parametrize("routing", ["residue", "keyed"])
+def test_dispatch_preroute_routing_mode(benchmark, routing):
+    """The PR 8 acceptance arm: one burst's batched pre-route — exactly
+    the ``owners_of_iv_bytes`` call ``submit`` makes over a 64-frame IV
+    column — keyed (one bulk CMAC over the column) vs the old residue
+    arithmetic it replaced."""
+    from repro.sharding import ShardPlan
+
+    backend = _preferred_backend()
+    with crypto_backend.use_backend(backend):
+        plan = ShardPlan(
+            4,
+            mode=routing,
+            key=bytes(range(16)) if routing == "keyed" else None,
+        ).validate_routing()
+        # A Weyl sequence of IVs: cheap, deterministic, all distinct.
+        iv_column = [
+            ((i * 2654435761) % 2**32).to_bytes(4, "big") for i in range(BURST)
+        ]
+        owners = plan.owners_of_iv_bytes(iv_column)  # warm the router cache
+        assert len(owners) == BURST
+
+        def route_burst():
+            assert len(plan.owners_of_iv_bytes(iv_column)) == BURST
+
+        benchmark(route_burst)
+    benchmark.extra_info["crypto_backend"] = backend
+    benchmark.extra_info["routing"] = routing
+    benchmark.extra_info["shards"] = 4
+    benchmark.extra_info["burst_size"] = BURST
+    benchmark.extra_info["acceptance"] = (
+        "keyed pre-route within ~10% of residue at burst 64 on openssl"
+    )
 
 
 def _supervised_plane(world, policy):

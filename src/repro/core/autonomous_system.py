@@ -117,8 +117,11 @@ class ApnaAutonomousSystem:
             from ..sharding.plan import ShardPlan
 
             self.shard_plan = ShardPlan(
-                config.forwarding_shards, block=config.shard_block
-            )
+                config.forwarding_shards,
+                block=config.shard_block,
+                mode=config.shard_routing,
+                key=self.keys.secret.shard_route,
+            ).validate_routing()
         #: The live worker pool (see :meth:`start_shard_pool`).
         self.shard_pool = None
         self.ivs = IvAllocator(self.rng, plan=self.shard_plan)

@@ -74,6 +74,17 @@ class ApnaConfig:
     #: registration order.
     shard_block: int = 1
 
+    #: IV -> shard dispatch map (``repro.sharding.ShardPlan.mode``).
+    #: ``"keyed"`` (default) routes by ``CMAC_kR(iv) % nshards`` under an
+    #: AS-internal routing key derived from the AS secret, so the clear
+    #: IV bytes leak nothing about which EphIDs share a host.
+    #: ``"residue"`` is the legacy unkeyed ``iv % nshards`` map, kept only
+    #: for bit-compatibility with worlds built before keyed routing: it
+    #: lets any on-path observer link one host's EphIDs by residue
+    #: (log2(nshards) bits of the cross-EphID linkage Section IV/V-A1
+    #: rules out), so never deploy it.
+    shard_routing: str = "keyed"
+
     #: Wall-clock seconds the shard dispatcher waits for any single
     #: worker reply before declaring the worker hung and restarting it
     #: (bounded ``Connection.poll``; see

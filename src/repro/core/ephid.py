@@ -20,6 +20,7 @@ what lets a host hold many unlinkable EphIDs simultaneously.
 from __future__ import annotations
 
 import struct
+from collections import deque
 from dataclasses import dataclass
 
 from ..crypto.aes import AES
@@ -173,18 +174,47 @@ class IvAllocator:
     Shard pinning
     -------------
 
-    With a shard ``plan`` (any object exposing ``nshards`` and
-    ``owner_of(hid)``, normally a :class:`repro.sharding.plan.ShardPlan`)
-    the allocator additionally *pins* each IV's residue:
-    :meth:`next_iv_for` hands HID ``h`` an IV with ``iv % nshards ==
-    plan.owner_of(h)``, drawn from that residue class's own stride-N
-    counter.  The residue classes partition the IV space, so uniqueness
-    is preserved — and a sharded data plane's dispatcher can recover the
-    owning shard from the EphID's four clear IV bytes without touching
-    the AS secret (see :mod:`repro.sharding.plan`).
+    With a shard ``plan`` (any object exposing ``nshards``, ``owner_of``
+    and ``owners_of_iv_bytes``, normally a
+    :class:`repro.sharding.plan.ShardPlan`) the allocator additionally
+    *pins* each IV to a shard under the plan's IV -> shard map:
+    :meth:`next_iv_for` hands HID ``h`` an IV with
+    ``plan.owner_of_iv(iv) == plan.owner_of(h)``, so a sharded data
+    plane's dispatcher can recover the owning shard from the EphID's four
+    clear IV bytes without touching the AS secret (see
+    :mod:`repro.sharding.plan`).
+
+    Pinning works by drawing candidate IVs off the one global sequential
+    counter, classifying each candidate through the plan's map (one bulk
+    call per chunk), and banking them in per-shard buckets; a pinned draw
+    pops its shard's bucket, refilling from the counter until a candidate
+    lands there.  Every IV still comes from the single counter, so
+    uniqueness is exactly the unsharded argument.  Under the keyed map
+    a chunk scatters ~uniformly, so the expected overdraw per pinned IV
+    is ``nshards`` candidates; under the legacy ``"residue"`` map this
+    enumeration yields, per shard, the identical stride-``nshards``
+    sequence the pre-keyed allocator produced (ascending from the first
+    class member at or above the random start, wrapping to the class
+    bottom) — seed streams stay bit-compatible.
+
+    Issuance accounting (:attr:`issued`) counts only IVs actually handed
+    out, never banked candidates, and is broken down per shard
+    (:attr:`issued_by_shard`).  Plan-less :meth:`next_iv` calls under a
+    plan — service identities, callers with no HID — are pinned to shard
+    0 (they must route somewhere, and shard 0 owns all service HIDs) but
+    tallied separately in :attr:`issued_unattributed` so that draw no
+    longer drains shard 0's budget silently.
     """
 
-    __slots__ = ("_next", "_remaining", "_plan", "_streams", "_stream_remaining", "_pinned_issued")
+    __slots__ = (
+        "_next",
+        "_remaining",
+        "_plan",
+        "_buckets",
+        "_issued_unpinned",
+        "_issued_by_shard",
+        "_issued_unattributed",
+    )
 
     def __init__(
         self,
@@ -199,54 +229,85 @@ class IvAllocator:
         self._next = start % 2**32
         self._remaining = 2**32
         self._plan = plan if plan is not None and plan.nshards > 1 else None
-        self._streams: dict[int, int] = {}
-        self._stream_remaining: dict[int, int] = {}
-        self._pinned_issued = 0
+        self._buckets: dict[int, deque[int]] = {}
+        self._issued_unpinned = 0
+        self._issued_by_shard: dict[int, int] = {}
+        self._issued_unattributed = 0
 
     def next_iv(self) -> int:
         """An arbitrary fresh IV (pinned to shard 0 under a shard plan)."""
         if self._plan is not None:
-            return self._pinned_next(0)
+            iv = self._pinned_next(0)
+            self._issued_unattributed += 1
+            return iv
         if self._remaining == 0:
             raise EphIdError("IV space exhausted: rotate the AS secret kA")
         iv = self._next
         self._next = (self._next + 1) % 2**32
         self._remaining -= 1
+        self._issued_unpinned += 1
         return iv
 
     def next_iv_for(self, hid: int) -> int:
         """A fresh IV for an EphID bound to ``hid``.
 
         Without a shard plan this is plain :meth:`next_iv`; with one, the
-        IV's residue is pinned to ``hid``'s owning shard.
+        IV is pinned to ``hid``'s owning shard under the plan's map.
         """
         if self._plan is None:
             return self.next_iv()
         return self._pinned_next(self._plan.owner_of(hid))
 
-    def _pinned_next(self, residue: int) -> int:
-        n = self._plan.nshards
-        iv = self._streams.get(residue)
-        if iv is None:
-            # First draw from this class: smallest member >= the random
-            # start (wrapping to the bottom of the class if none).
-            iv = self._next + ((residue - self._next) % n)
-            if iv >= 2**32:
-                iv = residue
-            self._stream_remaining[residue] = (2**32 - 1 - residue) // n + 1
-        if self._stream_remaining[residue] == 0:
+    def _pinned_next(self, shard: int) -> int:
+        bucket = self._buckets.get(shard)
+        while not bucket:
+            self._draw_candidates()
+            bucket = self._buckets.get(shard)
+        iv = bucket.popleft()
+        if not bucket:
+            del self._buckets[shard]
+        self._issued_by_shard[shard] = self._issued_by_shard.get(shard, 0) + 1
+        return iv
+
+    def _draw_candidates(self) -> None:
+        """Advance the global counter by one chunk and bank by shard."""
+        if self._remaining == 0:
             raise EphIdError(
-                f"IV space exhausted for shard residue {residue}: "
+                "IV space exhausted while searching the shard map: "
                 "rotate the AS secret kA"
             )
-        nxt = iv + n
-        if nxt >= 2**32:
-            nxt = residue
-        self._streams[residue] = nxt
-        self._stream_remaining[residue] -= 1
-        self._pinned_issued += 1
-        return iv
+        count = min(self._remaining, max(self._plan.nshards * 2, 8))
+        nxt = self._next
+        candidates = []
+        for _ in range(count):
+            candidates.append(nxt)
+            nxt = (nxt + 1) % 2**32
+        self._next = nxt
+        self._remaining -= count
+        owners = self._plan.owners_of_iv_bytes(
+            [iv.to_bytes(4, "big") for iv in candidates]
+        )
+        for iv, shard in zip(candidates, owners):
+            bucket = self._buckets.get(shard)
+            if bucket is None:
+                bucket = self._buckets[shard] = deque()
+            bucket.append(iv)
 
     @property
     def issued(self) -> int:
-        return 2**32 - self._remaining + self._pinned_issued
+        """IVs actually handed out (banked candidates excluded)."""
+        return self._issued_unpinned + sum(self._issued_by_shard.values())
+
+    @property
+    def issued_by_shard(self) -> "dict[int, int]":
+        """Pinned issuance per shard (a copy)."""
+        return dict(self._issued_by_shard)
+
+    @property
+    def issued_unattributed(self) -> int:
+        """Pinned draws that carried no HID (service identities etc.).
+
+        These land on shard 0 and are also counted there in
+        :attr:`issued_by_shard`.
+        """
+        return self._issued_unattributed

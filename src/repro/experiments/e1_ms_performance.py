@@ -67,7 +67,9 @@ def measure_issuance_rate(requests: int, *, seed: int = 7) -> float:
     return timer.elapsed
 
 
-def measure_parallel_rate(requests: int, workers: int) -> float:
+def measure_parallel_rate(
+    requests: int, workers: int, *, reply_timeout: "float | None" = None
+) -> float:
     """Share-nothing parallel issuance (the paper's 4-process setup).
 
     Each worker runs an independent MS instance on the shared
@@ -78,10 +80,15 @@ def measure_parallel_rate(requests: int, workers: int) -> float:
     so a rate computed over ``requests`` is honest.  Workers time only
     their issuance loops (setup excluded, as in the sequential
     measurement); the effective duration for ``requests`` total is the
-    slowest worker's loop.
+    slowest worker's loop.  ``reply_timeout`` bounds each worker's wait
+    (default: the issuance runner's generous
+    :data:`~repro.sharding.issuance.DEFAULT_REPLY_TIMEOUT`).
     """
     counts = split_requests(requests, workers)
-    results = run_issuance_shards(counts)
+    if reply_timeout is None:
+        results = run_issuance_shards(counts)
+    else:
+        results = run_issuance_shards(counts, reply_timeout=reply_timeout)
     done = sum(count for count, _ in results)
     if done != requests:
         raise RuntimeError(

@@ -6,8 +6,15 @@ router whose verdicts are computed per burst.  This package combines the
 two — persistent worker processes, each owning the state for an HID
 range, fed one burst-sized batch of packed wire frames per IPC message:
 
-* :mod:`~repro.sharding.plan` — HID -> shard ownership and the
-  IV-residue trick that lets a dispatcher route without decrypting;
+* :mod:`~repro.sharding.plan` — HID -> shard ownership and the keyed
+  IV -> shard map that lets a dispatcher route without decrypting *and*
+  without leaking: EphID IVs are pinned at issuance so that
+  ``CMAC_kR(iv) % nshards`` (under the AS-internal routing key ``kR``)
+  lands on the owner shard, so the clear IV bytes carry no cross-EphID
+  linkage an observer could check.  The original unkeyed residue map
+  (``iv % nshards``) survives only as ``mode="residue"`` for
+  bit-compatibility — it leaks ``log2(nshards)`` linkage bits and must
+  not be deployed;
 * :mod:`~repro.sharding.wire` — the binary pipe protocol (bursts in,
   verdict vectors out; revocation/registration control frames between;
   full-state resync frames for restarted workers);

@@ -65,15 +65,29 @@ def issuance_worker(conn, worker_index: int) -> None:
     conn.close()
 
 
+#: Default bound on one MS worker's whole timed issuance loop.  Generous
+#: — the loop builds a world and issues tens of thousands of EphIDs, all
+#: local CPU work — but finite, so one wedged worker fails the run as
+#: :class:`~repro.sharding.pool.ShardTimeout` instead of blocking E1
+#: forever.
+DEFAULT_REPLY_TIMEOUT = 600.0
+
+
 def run_issuance_shards(
-    counts: "list[int]", *, seed_base: int = 100
+    counts: "list[int]",
+    *,
+    seed_base: int = 100,
+    reply_timeout: "float | None" = DEFAULT_REPLY_TIMEOUT,
 ) -> "list[tuple[int, float]]":
     """Run one timed issuance loop per worker, share-nothing.
 
     Each worker builds an independent MS world (seeded ``seed_base + i``)
     and times only its issuance loop, exactly as the paper's 4-process
     measurement does.  Returns ``(requests_done, elapsed_seconds)`` per
-    worker.
+    worker.  A worker that sends no result within ``reply_timeout``
+    seconds raises :class:`~repro.sharding.pool.ShardTimeout`
+    (``None`` restores the old unbounded wait); teardown then reaps the
+    hung process.
     """
     pool = ShardProcessPool(
         issuance_worker, list(range(len(counts))), name="apna-ms"
@@ -83,7 +97,7 @@ def run_issuance_shards(
             pool.send_bytes(i, _JOB.pack(_KIND_JOB, count, seed_base + i))
         results = []
         for i in range(len(counts)):
-            msg = pool.recv_bytes(i)
+            msg = pool.recv_bytes(i, timeout=reply_timeout)
             _, done, elapsed = _RESULT.unpack(msg)
             results.append((done, elapsed))
         return results

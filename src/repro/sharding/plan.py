@@ -1,4 +1,4 @@
-"""HID-range shard ownership (the share-nothing split of paper §V-A3).
+"""Shard ownership: HID -> shard, and the keyed IV -> shard routing map.
 
 The paper scales the MS across four processes with "no coordination
 between the processes"; this module fixes *which* process owns which
@@ -13,48 +13,172 @@ host so the data plane can be split the same way.  A
   a larger block gives each shard long contiguous HID runs, the layout
   a range-partitioned ``host_info`` table would use.
 
-Routing without decrypting
---------------------------
+Routing without decrypting — and without leaking
+------------------------------------------------
 
 An EphID hides its HID (that is the point of the construction), so a
 dispatcher cannot look at a packet and see which shard owns its source
 host.  What *is* in the clear is the EphID's IV (Fig. 6: the middle four
-bytes).  Because the AS issues every EphID itself, it can pin the IV at
-issuance time so that ``iv % nshards`` equals the owning shard
-(:meth:`repro.core.ephid.IvAllocator.next_iv_for`), and the dispatcher
-recovers the shard from four clear-text bytes with no crypto at all —
-the software analogue of NIC RSS steering.
+bytes).  Because the AS issues every EphID itself, it can pin IVs at
+issuance time so that :meth:`ShardPlan.owner_of_iv` of the clear IV
+equals the owning shard (:meth:`repro.core.ephid.IvAllocator.
+next_iv_for`), and the dispatcher recovers the shard from four
+clear-text bytes — the software analogue of NIC RSS steering.
 
-The residue leaks ``log2(nshards)`` bits of linkage (two EphIDs of one
-host share it); closing that side channel with a keyed shard mapping is
-a ROADMAP item.
+The *shape* of that map is a privacy decision.  The original map was the
+bare residue ``iv % nshards``: free to compute, but anyone on the path
+could compute it too, so two EphIDs of the same host shared a publicly
+checkable residue — ``log2(nshards)`` bits of cross-EphID linkage,
+exactly what the paper's domain-brokered privacy (Section IV/V-A1)
+promises does not exist.  The default map is therefore **keyed**:
+
+    ``owner_of_iv(iv) = CMAC_kR(iv) % nshards``
+
+under ``kR``, an AS-internal routing key derived from the AS master
+secret (:attr:`repro.core.keys.AsSecret.shard_route`).  The map is still
+deterministic — the AS can pin IVs against it at issuance, and every
+EphID of a host still routes to the host's owner shard — but without
+``kR`` the clear IV bytes are uncorrelated with the shard, so an
+observer learns nothing an unsharded deployment would not leak.  The
+dispatcher pays one short PRF per packet, batched over a burst's whole
+IV column with a single AES-ECB pass — a 4-byte CMAC collapses to one
+AES call, see :class:`RoutingKey` —
+(:meth:`ShardPlan.owners_of_iv_bytes`; nearly free on the openssl
+backend).
+
+``mode="residue"`` keeps the original unkeyed map, bit-compatible with
+worlds built before the keyed map existed.  Its only remaining use is
+that compatibility; it retains the linkage leak and should not be
+deployed.
+
+This module is the **only** place an IV -> shard decision may be
+computed: ``tests/test_shard_routing_audit.py`` fails on any
+``% nshards``-style routing arithmetic elsewhere on the dispatch or
+issuance paths, so the leak cannot quietly come back.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import struct
+from dataclasses import dataclass, field
 
 from ..core.ephid import CIPHERTEXT_SIZE, IV_SIZE
 from ..core.hostdb import FIRST_HOST_HID
+from ..crypto.aes import AES, BLOCK_SIZE
+from ..crypto.cmac import _left_shift
 
 #: EphID layout offsets (Fig. 6): ciphertext || IV || tag.
 _IV_OFFSET = CIPHERTEXT_SIZE
 _IV_END = CIPHERTEXT_SIZE + IV_SIZE
 
+#: The IV -> shard maps a plan can use.
+ROUTING_MODES = ("keyed", "residue")
+
+#: kR length: one AES-CMAC key.
+ROUTING_KEY_SIZE = 16
+
+#: PRF output bytes folded into the shard index.  Eight bytes keep the
+#: modulo bias below 2^-60 for any sane shard count.
+_PRF_BYTES = 8
+
+#: Per-burst-size unpackers for the bulk route (bursts reuse one size).
+_TAG_WORDS_CACHE: "dict[int, struct.Struct]" = {}
+
+
+def _tag_words(count: int) -> struct.Struct:
+    cached = _TAG_WORDS_CACHE.get(count)
+    if cached is None:
+        cached = _TAG_WORDS_CACHE[count] = struct.Struct(">" + "Q8x" * count)
+    return cached
+
+
+class RoutingKey:
+    """kR — the PRF side of the keyed IV -> shard map.
+
+    The PRF is AES-CMAC (RFC 4493) over the four clear IV bytes.  A
+    4-byte message is a single *incomplete* CMAC block, so the tag
+    collapses to one AES call on the padded, subkey-masked block:
+
+        ``CMAC_kR(iv) = AES_kR(K2 XOR (iv || 0x80 || 0^11))``
+
+    which this class exploits on the dispatch path: a whole burst's IV
+    column becomes one :meth:`repro.crypto.aes.AES.encrypt_blocks` call
+    (a single EVP update on the openssl backend) instead of a per-IV
+    CMAC context loop — the bit-identical tag at a fraction of the cost
+    (``tests/test_sharding.py`` pins the equivalence against the generic
+    CMAC).  The K2 mask is derived once at construction.
+    """
+
+    __slots__ = ("_aes", "_mask_head", "_mask_tail")
+
+    def __init__(self, key: bytes, *, backend=None) -> None:
+        if len(key) != ROUTING_KEY_SIZE:
+            raise ValueError(
+                f"routing key kR must be {ROUTING_KEY_SIZE} bytes, got {len(key)}"
+            )
+        self._aes = AES(key, backend=backend)
+        # RFC 4493 subkeys: L = AES_K(0), K1 = dbl(L), K2 = dbl(K1).
+        k2 = _left_shift(_left_shift(self._aes.encrypt_block(bytes(BLOCK_SIZE))))
+        # K2 XOR (iv || 0x80 || 0^11), pre-split around the 4 IV bytes.
+        self._mask_head = int.from_bytes(k2[:IV_SIZE], "big")
+        self._mask_tail = bytes((k2[IV_SIZE] ^ 0x80,)) + k2[IV_SIZE + 1 :]
+
+    def shard_of(self, iv_bytes: bytes, nshards: int) -> int:
+        """The shard the keyed map sends four clear IV bytes to."""
+        block = (
+            (int.from_bytes(iv_bytes, "big") ^ self._mask_head).to_bytes(
+                IV_SIZE, "big"
+            )
+            + self._mask_tail
+        )
+        tag = self._aes.encrypt_block(block)
+        return int.from_bytes(tag[:_PRF_BYTES], "big") % nshards
+
+    def shards_of(self, iv_columns, nshards: int) -> "list[int]":
+        """Bulk form of :meth:`shard_of` — one AES-ECB call per burst."""
+        head, tail = self._mask_head, self._mask_tail
+        buf = b"".join(
+            (int.from_bytes(iv, "big") ^ head).to_bytes(IV_SIZE, "big") + tail
+            for iv in iv_columns
+        )
+        tags = self._aes.encrypt_blocks(buf)
+        # One unpack pulls every tag's leading PRF word out of the
+        # concatenated ECB output (">Q8x" = 8 tag bytes, 8 skipped).
+        words = _tag_words(len(iv_columns)).unpack(tags)
+        return [word % nshards for word in words]
+
 
 @dataclass(frozen=True)
 class ShardPlan:
-    """The HID -> shard ownership function for one AS's data plane."""
+    """One AS's shard ownership: HID -> shard and IV -> shard."""
 
     nshards: int
     #: Consecutive host HIDs per contiguous ownership block.
     block: int = 1
+    #: The IV -> shard map: ``"keyed"`` (default, unlinkable) or
+    #: ``"residue"`` (the original ``iv % nshards``, kept only for
+    #: bit-compatibility; leaks cross-EphID linkage).
+    mode: str = "keyed"
+    #: kR for the keyed map.  Required for keyed routing over more than
+    #: one shard; ownership-only uses (``owner_of``) never need it.
+    key: "bytes | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.nshards < 1:
             raise ValueError(f"nshards must be >= 1, got {self.nshards}")
         if self.block < 1:
             raise ValueError(f"block must be >= 1, got {self.block}")
+        if self.mode not in ROUTING_MODES:
+            raise ValueError(
+                f"routing mode must be one of {ROUTING_MODES}, got {self.mode!r}"
+            )
+        if self.key is not None and len(self.key) != ROUTING_KEY_SIZE:
+            raise ValueError(
+                f"routing key kR must be {ROUTING_KEY_SIZE} bytes, "
+                f"got {len(self.key)}"
+            )
+
+    # -- HID ownership ------------------------------------------------------
 
     def owner_of(self, hid: int) -> int:
         """The shard owning ``hid``'s record (MAC keys included)."""
@@ -62,10 +186,62 @@ class ShardPlan:
             return 0  # service identities live on shard 0
         return ((hid - FIRST_HOST_HID) // self.block) % self.nshards
 
+    # -- IV routing ---------------------------------------------------------
+
+    def _keyed_router(self) -> RoutingKey:
+        router = getattr(self, "_router", None)
+        if router is None:
+            if self.key is None:
+                raise ValueError(
+                    f"keyed routing over {self.nshards} shards needs a "
+                    "routing key kR (pass ShardPlan(key=...), or "
+                    "mode='residue' for the legacy unkeyed map)"
+                )
+            router = RoutingKey(self.key)
+            object.__setattr__(self, "_router", router)
+        return router
+
+    def validate_routing(self) -> "ShardPlan":
+        """Fail fast (not mid-burst) if this plan cannot route IVs."""
+        if self.nshards > 1 and self.mode == "keyed":
+            self._keyed_router()
+        return self
+
+    def owner_of_iv(self, iv: int) -> int:
+        """The shard a pinned IV routes to, under the plan's map."""
+        if self.nshards == 1:
+            return 0
+        if self.mode == "residue":
+            return iv % self.nshards
+        return self._keyed_router().shard_of(iv.to_bytes(4, "big"), self.nshards)
+
+    def owner_of_iv_bytes(self, iv_bytes: bytes) -> int:
+        """:meth:`owner_of_iv` straight from four clear wire bytes."""
+        if self.nshards == 1:
+            return 0
+        if self.mode == "residue":
+            return int.from_bytes(iv_bytes, "big") % self.nshards
+        return self._keyed_router().shard_of(bytes(iv_bytes), self.nshards)
+
+    def owners_of_iv_bytes(self, iv_columns) -> "list[int]":
+        """Route a whole burst's IV column at once.
+
+        Keyed mode spends one bulk CMAC call for the entire column (the
+        dispatcher's batched pre-route); residue mode is a plain mod
+        loop.  Element-for-element identical to :meth:`owner_of_iv_bytes`
+        per entry.
+        """
+        if self.nshards == 1:
+            return [0] * len(iv_columns)
+        if self.mode == "residue":
+            n = self.nshards
+            return [int.from_bytes(b, "big") % n for b in iv_columns]
+        return self._keyed_router().shards_of(iv_columns, self.nshards)
+
     def shard_of_iv(self, iv: int) -> int:
-        """The shard a pinned IV routes to (``iv % nshards``)."""
-        return iv % self.nshards
+        """Deprecated name for :meth:`owner_of_iv`."""
+        return self.owner_of_iv(iv)
 
     def shard_of_ephid(self, ephid: bytes) -> int:
-        """Read the routing shard straight out of an EphID's clear IV."""
-        return int.from_bytes(ephid[_IV_OFFSET:_IV_END], "big") % self.nshards
+        """Routing shard of an EphID, read from its clear IV bytes."""
+        return self.owner_of_iv_bytes(ephid[_IV_OFFSET:_IV_END])

@@ -82,7 +82,6 @@ __all__ = [
 _SRC_IV = slice(
     AID_SIZE + CIPHERTEXT_SIZE, AID_SIZE + CIPHERTEXT_SIZE + IV_SIZE
 )
-_SRC_IV_LOW = _SRC_IV.stop - 1
 _DST_AID = slice(AID_SIZE + 2 * EPHID_SIZE, 2 * AID_SIZE + 2 * EPHID_SIZE)
 _MIN_FRAME = HEADER_SIZE
 _MIN_FRAME_WITH_NONCE = HEADER_SIZE_WITH_NONCE
@@ -236,6 +235,22 @@ class ShardProcessPool:
         if proc.is_alive():
             proc.kill()
         proc.join(timeout=5.0)
+
+    def discard_worker(self, shard: int) -> None:
+        """Tear a slot fully down — pipe *and* process — without
+        spawning a replacement.
+
+        For abandoning a half-respawned worker (e.g. a restart whose
+        resync failed): unlike :meth:`kill_worker`, which leaves the
+        pipe open so the dispatcher can observe the EOF, this releases
+        every resource the slot holds; the slot stays addressable and a
+        later :meth:`restart` gives it a fresh process and pipe.
+        """
+        try:
+            self._conns[shard].close()
+        except (OSError, ValueError):
+            pass
+        self.kill_worker(shard)
 
     def restart(self, shard: int, spec) -> None:
         """Replace one worker slot with a freshly spawned process.
@@ -447,10 +462,10 @@ class ShardedDataPlane:
         #: Dispatcher-side transit forwarding (no shard round-trip).
         self.forwarded_inter = 0
         self._inter_verdicts = InterVerdicts()
-        # Routing fast path: for power-of-two shard counts the residue is
-        # a mask over the IV's low byte.
-        n = self.nshards
-        self._route_mask = (n - 1) if n & (n - 1) == 0 and n <= 256 else None
+        # Fail at construction, not mid-burst, if the plan cannot route
+        # IVs (e.g. keyed mode without kR).
+        if self.nshards > 1:
+            plan.validate_routing()
 
     # -- construction ------------------------------------------------------
 
@@ -487,7 +502,17 @@ class ShardedDataPlane:
         fallback reads them directly.  ``state_backend`` picks the
         workers' replica store (``"columnar"`` / ``"object"``).
         """
-        plan = plan or ShardPlan(nshards)
+        if plan is None:
+            if nshards > 1:
+                # A multi-shard plan needs the issuing AS's routing
+                # key/mode — a default-constructed one here would route
+                # differently than issuance pinned, and misroute every
+                # packet.  (nshards == 1 routes everything to shard 0.)
+                raise ValueError(
+                    "a multi-shard pool needs the issuing AS's ShardPlan "
+                    "(routing mode + kR); pass plan="
+                )
+            plan = ShardPlan(1)
         if plan.nshards != nshards:
             raise ValueError(
                 f"plan is for {plan.nshards} shards, pool wants {nshards}"
@@ -509,6 +534,8 @@ class ShardedDataPlane:
                     replay_window=replay_window,
                     replay_bits=replay_bits,
                     shard_block=plan.block,
+                    routing_mode=plan.mode,
+                    routing_key=plan.key or b"",
                     state_backend=state_backend,
                     snapshot=snap.encode(),
                 )
@@ -589,10 +616,14 @@ class ShardedDataPlane:
     # -- routing -----------------------------------------------------------
 
     def shard_of_frame(self, frame: bytes) -> int:
-        """Routing shard of a packed frame: the source EphID's IV residue."""
-        if self._route_mask is not None:
-            return frame[_SRC_IV_LOW] & self._route_mask
-        return int.from_bytes(frame[_SRC_IV], "big") % self.nshards
+        """Routing shard of a packed frame, from the source EphID's four
+        clear IV bytes under the plan's (keyed by default) map.
+
+        The burst path batches this per-frame lookup into one bulk PRF
+        over the whole IV column (see :meth:`submit`); this scalar form
+        serves diagnostics and out-of-band callers.
+        """
+        return self.plan.owner_of_iv_bytes(frame[_SRC_IV])
 
     # -- the burst pipeline -------------------------------------------------
 
@@ -636,10 +667,14 @@ class ShardedDataPlane:
         if self.degraded is not None:
             return self._submit_degraded(frames, egress, now)
         # Classify without side effects: transit short-circuits vs
-        # shard-bound sub-bursts.
+        # shard-bound sub-bursts.  Routing is two-phase so the keyed map
+        # costs one bulk PRF per burst, not one per frame: first split
+        # off transit and gather the shard-bound frames' IV columns, then
+        # route the whole column in a single plan call.
         ticket = _Ticket(len(frames))
         transit: "list[tuple[int, int]]" = []  # (index, dst_aid)
-        by_shard: "dict[int, tuple[list[int], list[bytes], list[int]]]" = {}
+        routed: "list[int]" = []
+        iv_column: "list[bytes]" = []
         aid_bytes = self.aid.to_bytes(4, "big")
         for i, (frame, out) in enumerate(zip(frames, egress)):
             if not out and frame[_DST_AID] != aid_bytes:
@@ -647,13 +682,17 @@ class ShardedDataPlane:
                 # table decision, no per-host state, no shard round-trip.
                 transit.append((i, int.from_bytes(frame[_DST_AID], "big")))
                 continue
-            shard = self.shard_of_frame(frame)
+            routed.append(i)
+            iv_column.append(frame[_SRC_IV])
+        shards = self.plan.owners_of_iv_bytes(iv_column)
+        by_shard: "dict[int, tuple[list[int], list[bytes], list[int]]]" = {}
+        for i, shard in zip(routed, shards):
             slot = by_shard.get(shard)
             if slot is None:
                 slot = by_shard[shard] = ([], [], [])
             slot[0].append(i)
-            slot[1].append(frame)
-            slot[2].append(wire.EGRESS if out else wire.INGRESS)
+            slot[1].append(frames[i])
+            slot[2].append(wire.EGRESS if egress[i] else wire.INGRESS)
         # Admission: only shard-bound packets occupy reply-pipe budget.
         # A lone burst is exempt whatever its size — with nothing else
         # outstanding the dispatcher proceeds straight to collect(), so

@@ -168,10 +168,18 @@ class ShardSupervisor:
                 self._sleep(min(base * (2 ** (attempt - 1)), base * _BACKOFF_CAP_FACTOR))
             try:
                 self._pool.restart(shard, self._bare_specs[shard])
+            except Exception as exc:  # noqa: BLE001 — any failure retries
+                self.record_failure(shard, f"restart attempt {attempt + 1}: {exc}")
+                continue
+            try:
                 self._resync(shard)
                 return True
             except Exception as exc:  # noqa: BLE001 — any failure retries
                 self.record_failure(shard, f"restart attempt {attempt + 1}: {exc}")
+                # The respawn succeeded but the worker never got its
+                # state: it must not linger across the backoff (or past
+                # the final give-up) holding pipes and a live process.
+                self._pool.discard_worker(shard)
         return False
 
     def _resync(self, shard: int) -> None:

@@ -61,6 +61,12 @@ class ShardSpec:
     replay_bits: int
     #: Consecutive HIDs per shard-ownership block (``ShardPlan.block``).
     shard_block: int
+    #: IV -> shard map the dispatcher routes this worker's packets with
+    #: (``ShardPlan.mode``): ``"keyed"`` or the legacy ``"residue"``.
+    routing_mode: str
+    #: kR when ``routing_mode == "keyed"`` (else empty) — carried so the
+    #: worker can cross-check resync'd snapshots against its spec.
+    routing_key: bytes
     #: Which store backs the worker's replica: ``"columnar"`` (dense
     #: :mod:`repro.state` columns, zero per-host objects) or ``"object"``.
     state_backend: str
@@ -182,6 +188,22 @@ class ShardState:
         from.
         """
         spec = self.spec
+        # A snapshot built under a different IV -> shard map than the one
+        # the dispatcher routes with would silently mispair source-side
+        # state and traffic; refuse it here, where spawn and resync meet.
+        if snap.routing_mode and snap.routing_mode != spec.routing_mode:
+            raise ValueError(
+                f"snapshot routed {snap.routing_mode!r} but this shard's "
+                f"spec routes {spec.routing_mode!r}"
+            )
+        if (
+            snap.routing_key
+            and spec.routing_key
+            and snap.routing_key != spec.routing_key
+        ):
+            raise ValueError(
+                "snapshot's routing key kR differs from this shard's spec"
+            )
         if spec.state_backend == "columnar":
             # Column blobs load wholesale: the snapshot's packed arrays
             # become the view's backing stores with no per-host objects.

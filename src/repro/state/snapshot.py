@@ -55,6 +55,12 @@ EPHID_BYTES = 16
 _NEEDS_SWAP = sys.byteorder == "little"
 _HEAD = struct.Struct(">III")  # n_owned, n_live, n_revoked
 
+#: Routing-trailer mode flags (u8).  Snapshots encoded before the keyed
+#: routing change have no trailer at all; :meth:`ShardSnapshot.decode`
+#: still accepts those blobs and reports ``routing_mode == ""``.
+_ROUTING_FLAG = {"": 0, "residue": 1, "keyed": 2}
+_ROUTING_MODE = {flag: mode for mode, flag in _ROUTING_FLAG.items()}
+
 
 def pack_u32s(values) -> bytes:
     """Pack an iterable of ints into big-endian u32 bytes."""
@@ -105,6 +111,13 @@ class ShardSnapshot:
     live_hids: bytes  # m x u32 BE
     rev_exp: bytes  # k x f64 BE
     rev_ephids: bytes  # k x 16 B
+    #: IV -> shard routing the snapshot's plan uses (``""`` on legacy
+    #: blobs that predate keyed routing).  Carried so a restarted worker
+    #: can sanity-check that its spec and the resync'd state agree on
+    #: how packets reach it.
+    routing_mode: str = ""
+    #: kR when ``routing_mode == "keyed"`` (else empty).
+    routing_key: bytes = b""
 
     def __post_init__(self) -> None:
         n = self.owned_count
@@ -118,6 +131,10 @@ class ShardSnapshot:
                 f"revocation columns disagree: {self.revoked_count} expiries, "
                 f"{len(self.rev_ephids)} ephid bytes"
             )
+        if self.routing_mode not in _ROUTING_FLAG:
+            raise ValueError(f"unknown routing mode {self.routing_mode!r}")
+        if len(self.routing_key) > 255:
+            raise ValueError("routing key too long for the u8 length field")
 
     @property
     def owned_count(self) -> int:
@@ -134,7 +151,8 @@ class ShardSnapshot:
     # -- codec ------------------------------------------------------------
 
     def encode(self) -> bytes:
-        """The wire image: a 12-byte header, then the six columns."""
+        """The wire image: a 12-byte header, the six columns, then the
+        routing trailer (u8 mode flag, u8 key length, kR bytes)."""
         return b"".join(
             (
                 _HEAD.pack(self.owned_count, self.live_count, self.revoked_count),
@@ -144,6 +162,8 @@ class ShardSnapshot:
                 self.live_hids,
                 self.rev_exp,
                 self.rev_ephids,
+                bytes((_ROUTING_FLAG[self.routing_mode], len(self.routing_key))),
+                self.routing_key,
             )
         )
 
@@ -156,11 +176,26 @@ class ShardSnapshot:
         for size in (n * 4, n, n * KEY_BYTES, m * 4, k * 8, k * EPHID_BYTES):
             sections.append(bytes(view[offset : offset + size]))
             offset += size
+        if offset == len(view):
+            # Legacy blob without the routing trailer.
+            return cls(*sections)
+        if offset + 2 > len(view):
+            raise ValueError(
+                f"snapshot is {len(view)} bytes, columns end at {offset} "
+                "with a truncated routing trailer"
+            )
+        flag, keylen = view[offset], view[offset + 1]
+        offset += 2
+        mode = _ROUTING_MODE.get(flag)
+        if mode is None:
+            raise ValueError(f"unknown routing-mode flag {flag}")
+        key = bytes(view[offset : offset + keylen])
+        offset += keylen
         if offset != len(view):
             raise ValueError(
                 f"snapshot is {len(view)} bytes, header implies {offset}"
             )
-        return cls(*sections)
+        return cls(*sections, routing_mode=mode, routing_key=key)
 
     @classmethod
     def empty(cls) -> "ShardSnapshot":
@@ -263,4 +298,6 @@ def build_shard_snapshot(hostdb, revocations, plan, shard: int) -> ShardSnapshot
         live_hids=live_hids,
         rev_exp=rev_exp,
         rev_ephids=rev_ephids,
+        routing_mode=getattr(plan, "mode", ""),
+        routing_key=getattr(plan, "key", None) or b"",
     )

@@ -661,7 +661,7 @@ class WorldBuilder:
     ) -> None:
         self._seed = seed
         self._config = config
-        self._sharding: dict[str, int | float] = {}
+        self._sharding: dict[str, object] = {}
         self._ases: list[AsSpec] = []
         self._links: list[LinkSpec] = []
         self._hosts: list[HostSpec] = []
@@ -679,6 +679,7 @@ class WorldBuilder:
         max_restarts: int | None = None,
         restart_backoff: float | None = None,
         degraded_fallback: bool | None = None,
+        routing: str | None = None,
     ) -> "WorldBuilder":
         """Shard every AS's data plane over ``shards`` worker processes.
 
@@ -694,7 +695,9 @@ class WorldBuilder:
         ``restart_backoff`` budget and pace worker restarts, and
         ``degraded_fallback`` picks what happens once the budget is
         spent — fall back to in-process forwarding (default) or poison
-        the plane.
+        the plane.  ``routing`` picks the IV -> shard dispatch map
+        (``config.shard_routing``): ``"keyed"`` (default) or the legacy,
+        linkage-leaking ``"residue"``.
         """
         if shards < 1:
             raise TopologyError(f"shards must be >= 1, got {shards}")
@@ -731,6 +734,12 @@ class WorldBuilder:
             self._sharding["shard_restart_backoff"] = restart_backoff
         if degraded_fallback is not None:
             self._sharding["shard_degraded_fallback"] = degraded_fallback
+        if routing is not None:
+            if routing not in ("keyed", "residue"):
+                raise TopologyError(
+                    f"routing must be 'keyed' or 'residue', got {routing!r}"
+                )
+            self._sharding["shard_routing"] = routing
         return self
 
     # -- ASes ----------------------------------------------------------------

@@ -1,0 +1,90 @@
+"""Regression audit: shard routing is computed in exactly one place.
+
+PR 8 closed the IV-residue linkage leak: the dispatcher no longer routes
+by the publicly computable ``iv % nshards`` residue but by a PRF-keyed
+map owned by :class:`repro.sharding.plan.ShardPlan`.  The leak only
+stays closed if nothing *else* quietly reintroduces residue arithmetic
+— a future "fast path" that mods a clear IV by the shard count would
+hand observers log2(nshards) linkage bits again, silently, with every
+test still green (the map is still a valid partition).
+
+So this audit walks the ASTs of every module on the dispatch/allocation
+path and flags any ``%`` whose modulus names a shard count.  Routing
+arithmetic is allowed only inside ``plan.py``; everyone else must go
+through ``ShardPlan.owner_of_iv*`` / ``owners_of_iv_bytes``.
+
+Deliberately *not* audited: ``state/view.py`` and ``state/columns.py``
+use ``blk % nshards`` for HID-block *ownership* (which rows a shard
+stores) — that is keyed on the secret HID, not on clear packet bytes,
+and is not a routing decision an observer can replay.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Everything that sees clear IV bytes and a shard count.  ``plan.py``
+#: is the one module allowed to turn one into the other.
+AUDITED = sorted(
+    p for p in (SRC / "sharding").glob("*.py") if p.name != "plan.py"
+) + [
+    SRC / "core" / "ephid.py",
+    SRC / "core" / "border_router.py",
+    SRC / "core" / "autonomous_system.py",
+]
+
+#: Identifier substrings that mark a modulus as a shard count.
+SHARD_TOKENS = ("nshards", "num_shards", "shard_count", "n_shards")
+
+
+def _names_shard_count(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        name = node.id.lower()
+    elif isinstance(node, ast.Attribute):
+        name = node.attr.lower()
+    else:
+        # Constants (``% 2**32`` wraparound) and calls are fine: the
+        # leak class is specifically reduction modulo the shard count.
+        return False
+    return any(token in name for token in SHARD_TOKENS)
+
+
+def _violations(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+            if _names_shard_count(node.right):
+                found.append(
+                    f"{path.relative_to(SRC.parent.parent)}:{node.lineno}"
+                )
+    return found
+
+
+def test_audited_files_exist():
+    for path in AUDITED:
+        assert path.is_file(), f"audited module moved or deleted: {path}"
+
+
+def test_plan_is_the_only_router():
+    violations = [v for path in AUDITED for v in _violations(path)]
+    assert not violations, (
+        "shard-count modulo outside ShardPlan — route via "
+        "plan.owner_of_iv*/owners_of_iv_bytes instead:\n  "
+        + "\n  ".join(violations)
+    )
+
+
+def test_audit_catches_residue_routing():
+    """The detector itself must fire on the pre-PR-8 idiom."""
+    bad = "def shard_of(iv, nshards):\n    return iv % nshards\n"
+    tree = ast.parse(bad)
+    hits = [
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, ast.BinOp)
+        and isinstance(n.op, ast.Mod)
+        and _names_shard_count(n.right)
+    ]
+    assert hits, "audit no longer detects iv % nshards routing"

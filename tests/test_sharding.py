@@ -34,6 +34,10 @@ from repro.workload.packets import build_apna_pool
 #: boundary, cheap enough for the 1-CPU CI container.
 TIER1_SHARDS = 2
 
+#: A fixed kR for plan-level tests (worlds derive theirs from the AS
+#: secret).
+_KR = bytes(range(16))
+
 
 class TestShardPlan:
     def test_service_hids_live_on_shard_zero(self):
@@ -50,29 +54,91 @@ class TestShardPlan:
         owners = [plan.owner_of(FIRST_HOST_HID + i) for i in range(8)]
         assert owners == [0, 0, 0, 1, 1, 1, 0, 0]
 
-    def test_iv_routing_matches_residue(self):
-        plan = ShardPlan(3)
+    def test_residue_mode_routes_by_iv_residue(self):
+        plan = ShardPlan(3, mode="residue")
         for iv in (0, 1, 2, 5, 2**32 - 1):
             ephid = bytes(8) + iv.to_bytes(4, "big") + bytes(4)
             assert plan.shard_of_ephid(ephid) == iv % 3 == plan.shard_of_iv(iv)
+
+    def test_keyed_mode_routes_by_prf_not_residue(self):
+        plan = ShardPlan(3, key=_KR)
+        ivs = list(range(64))
+        owners = [plan.owner_of_iv(iv) for iv in ivs]
+        for iv, owner in zip(ivs, owners):
+            ephid = bytes(8) + iv.to_bytes(4, "big") + bytes(4)
+            assert plan.shard_of_ephid(ephid) == owner
+            assert plan.owner_of_iv_bytes(iv.to_bytes(4, "big")) == owner
+        # The bulk burst entry point agrees element-for-element.
+        assert (
+            plan.owners_of_iv_bytes([iv.to_bytes(4, "big") for iv in ivs])
+            == owners
+        )
+        # The keyed map is not the public residue map, and it actually
+        # spreads load over every shard.
+        assert owners != [iv % 3 for iv in ivs]
+        assert set(owners) == {0, 1, 2}
+
+    def test_keyed_map_depends_on_kr(self):
+        ivs = [iv.to_bytes(4, "big") for iv in range(128)]
+        assert ShardPlan(4, key=_KR).owners_of_iv_bytes(ivs) != ShardPlan(
+            4, key=bytes(16)
+        ).owners_of_iv_bytes(ivs)
+
+    def test_keyed_map_is_cmac(self):
+        """The routing PRF is genuine AES-CMAC over the IV bytes: the
+        RoutingKey single-AES-block shortcut (a 4-byte message is one
+        incomplete CMAC block) must stay bit-identical to the generic
+        CMAC, scalar and bulk."""
+        from repro.crypto.cmac import Cmac
+
+        cmac = Cmac(_KR)
+        plan = ShardPlan(5, key=_KR)
+        ivs = [iv.to_bytes(4, "big") for iv in (0, 1, 7, 2**31, 2**32 - 1)]
+        expected = [
+            int.from_bytes(cmac.tag(iv, 8), "big") % 5 for iv in ivs
+        ]
+        assert [plan.owner_of_iv_bytes(iv) for iv in ivs] == expected
+        assert plan.owners_of_iv_bytes(ivs) == expected
+
+    def test_keyed_routing_requires_kr(self):
+        plan = ShardPlan(2)  # legal: ownership-only uses need no key
+        assert plan.owner_of(FIRST_HOST_HID) == 0
+        with pytest.raises(ValueError):
+            plan.owner_of_iv(5)
+        with pytest.raises(ValueError):
+            plan.validate_routing()
+        # A single shard routes trivially, key or not.
+        assert ShardPlan(1).validate_routing().owner_of_iv(5) == 0
 
     def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):
             ShardPlan(0)
         with pytest.raises(ValueError):
             ShardPlan(2, block=0)
+        with pytest.raises(ValueError):
+            ShardPlan(2, mode="hash")
+        with pytest.raises(ValueError):
+            ShardPlan(2, key=b"short")
 
 
 class TestPinnedIvAllocation:
-    def test_pinning_matches_plan_owner(self):
-        plan = ShardPlan(3)
+    @pytest.mark.parametrize(
+        "plan",
+        [ShardPlan(3, mode="residue"), ShardPlan(3, key=_KR)],
+        ids=["residue", "keyed"],
+    )
+    def test_pinning_matches_plan_owner(self, plan):
         alloc = IvAllocator(start=12345, plan=plan)
         for hid in range(FIRST_HOST_HID, FIRST_HOST_HID + 9):
             iv = alloc.next_iv_for(hid)
-            assert iv % 3 == plan.owner_of(hid)
+            assert plan.owner_of_iv(iv) == plan.owner_of(hid)
 
-    def test_pinned_ivs_stay_unique(self):
-        plan = ShardPlan(2)
+    @pytest.mark.parametrize(
+        "plan",
+        [ShardPlan(2, mode="residue"), ShardPlan(2, key=_KR)],
+        ids=["residue", "keyed"],
+    )
+    def test_pinned_ivs_stay_unique(self, plan):
         alloc = IvAllocator(start=7, plan=plan)
         ivs = [
             alloc.next_iv_for(FIRST_HOST_HID + (i % 4)) for i in range(200)
@@ -88,11 +154,67 @@ class TestPinnedIvAllocation:
         ]
 
     def test_wraparound_stays_in_residue_class(self):
-        plan = ShardPlan(3)
+        # Residue mode stays bit-compatible with the pre-keyed stride
+        # streams: from start 2^32-2, class 1's draws are exactly the
+        # wrapped ascending enumeration the old allocator produced.
+        plan = ShardPlan(3, mode="residue")
         alloc = IvAllocator(start=2**32 - 2, plan=plan)
         ivs = [alloc.next_iv_for(FIRST_HOST_HID + 1) for _ in range(3)]
-        assert all(iv % 3 == 1 for iv in ivs)
-        assert len(set(ivs)) == len(ivs)
+        assert ivs == [1, 4, 7]
+
+    def test_mixed_use_accounting_is_exact(self):
+        plan = ShardPlan(3, key=_KR)
+        alloc = IvAllocator(start=5, plan=plan)
+        unattributed = [alloc.next_iv() for _ in range(4)]
+        for hid in range(FIRST_HOST_HID, FIRST_HOST_HID + 6):
+            alloc.next_iv_for(hid)
+        # HID-less draws land on shard 0 (where all service HIDs live)
+        # and are tallied both there and as unattributed.
+        assert all(plan.owner_of_iv(iv) == 0 for iv in unattributed)
+        assert alloc.issued == 10
+        assert alloc.issued_unattributed == 4
+        by_shard = alloc.issued_by_shard
+        assert sum(by_shard.values()) == 10
+        assert by_shard[0] >= 4
+
+
+class TestDispatcherObserverLinkage:
+    """The closed leak, from the on-path observer's seat.
+
+    An observer sees only the EphID's four clear IV bytes.  Under the
+    old residue map, two EphIDs of the same host *always* share
+    ``iv % nshards`` — a perfect linkage oracle.  Under the keyed map
+    the same statistic must behave like chance (≈ 1/nshards agreement),
+    even though the AS-internal map still pins both EphIDs to the same
+    owner shard.
+    """
+
+    NSHARDS = 4
+    HOSTS = 120
+
+    def _iv_pairs(self, plan):
+        alloc = IvAllocator(start=0xACE5, plan=plan)
+        hids = range(FIRST_HOST_HID, FIRST_HOST_HID + self.HOSTS)
+        return [(hid, alloc.next_iv_for(hid), alloc.next_iv_for(hid)) for hid in hids]
+
+    def test_residue_mode_is_a_linkage_oracle(self):
+        pairs = self._iv_pairs(ShardPlan(self.NSHARDS, mode="residue"))
+        matches = sum(1 for _, a, b in pairs if a % self.NSHARDS == b % self.NSHARDS)
+        assert matches == len(pairs)  # the leak: 100% linkable
+
+    def test_keyed_mode_leaks_nothing_beyond_chance(self):
+        plan = ShardPlan(self.NSHARDS, key=_KR)
+        pairs = self._iv_pairs(plan)
+        # The observer's best public statistic on two clear IVs.
+        matches = sum(1 for _, a, b in pairs if a % self.NSHARDS == b % self.NSHARDS)
+        # Expected 1/nshards = 25%; anything approaching certainty means
+        # the clear bytes correlate with the host again.  120 pairs put
+        # chance-level agreement far below 50%.
+        assert matches / len(pairs) < 0.5
+        # And yet the AS-internal map still pins both EphIDs of a host
+        # to its owner shard — routing works, only the observer lost.
+        for hid, a, b in pairs:
+            assert plan.owner_of_iv(a) == plan.owner_of_iv(b) == plan.owner_of(hid)
 
 
 class TestWireCodecs:
@@ -691,6 +813,29 @@ class TestShardedIssuance:
         # otherwise) and the duration is the slowest worker's loop.
         elapsed = measure_parallel_rate(7, 3)
         assert elapsed > 0
+
+    def test_hung_worker_raises_shard_timeout(self, monkeypatch):
+        """A wedged MS worker must surface as ShardTimeout, not hang the
+        runner forever (the pre-fix ``recv_bytes`` had no timeout)."""
+        import multiprocessing
+        import time
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork start method to inherit the monkeypatch")
+        from repro.sharding import run_issuance_shards
+        from repro.sharding.pool import ShardTimeout
+        import repro.experiments.e1_ms_performance as e1
+
+        # Forked workers inherit this patched module: their deferred
+        # import resolves from sys.modules, so the "issuance loop" wedges.
+        monkeypatch.setattr(
+            e1, "measure_issuance_rate", lambda *a, **k: time.sleep(3600)
+        )
+        start = time.monotonic()
+        with pytest.raises(ShardTimeout):
+            run_issuance_shards([1], reply_timeout=0.2)
+        # The bound bit quickly and teardown reaped the hung process.
+        assert time.monotonic() - start < 30.0
 
 
 @pytest.mark.skipif(

@@ -44,9 +44,9 @@ CHAOS_POLICY = SupervisorPolicy(
 )
 
 
-def _build_world(nshards):
+def _build_world(nshards, routing="keyed"):
     return build_world(
-        config=ApnaConfig(forwarding_shards=nshards),
+        config=ApnaConfig(forwarding_shards=nshards, shard_routing=routing),
         host_names=("alice", "bob", "carol", "dave", "erin"),
     )
 
@@ -201,8 +201,13 @@ class TestCrashStormEquivalence:
     BURSTS = 110
     BURST_SIZE = 5
 
-    def test_storm_preserves_delivered_verdicts(self, nshards):
-        world = _build_world(nshards)
+    @pytest.mark.parametrize("routing", ("keyed", "residue"))
+    def test_storm_preserves_delivered_verdicts(self, nshards, routing):
+        # Both routing maps must survive the same storm: worker restarts
+        # resync state built under the same map the dispatcher routes
+        # with (kR rides ShardSpec and MSG_RESYNC), so keyed routing must
+        # not change a single delivered verdict mid-chaos.
+        world = _build_world(nshards, routing)
         world.network.run_until(5.0)  # let the exp_time=1 EphID expire
         rng = random.Random(0xFA17 + nshards)
         build, revocable = _packet_mix(world, rng)
@@ -461,6 +466,66 @@ class TestDegradation:
                         world.as_a.clock(),
                     )
             assert plane._broken is not None
+        finally:
+            plane.close()
+
+
+class TestFailedResyncCleanup:
+    """A restart attempt whose resync fails must not leak the
+    half-respawned worker process across the backoff (or past the final
+    give-up): the supervisor discards it so the next attempt — or the
+    poison verdict — starts from a clean slate."""
+
+    def test_failed_resync_kills_half_respawned_worker(self):
+        from repro.sharding import ShardError
+
+        world = _build_world(2)
+        rng = random.Random(21)
+        build, _ = _packet_mix(world, rng)
+        policy = SupervisorPolicy(
+            reply_timeout=0.4,
+            max_restarts=2,
+            restart_backoff=0.001,
+            degrade_to_inline=False,
+        )
+        plane = _fresh_plane(world, 2, policy)
+        try:
+            # Warm burst: all workers up and serving before the sabotage.
+            packets = [build("inter") for _ in range(4)]
+            plane.process(
+                [p.to_wire() for p in packets],
+                [True] * len(packets),
+                world.as_a.clock(),
+            )
+
+            # Sabotage resync: every restart attempt respawns a worker,
+            # then blows up before it can be handed its state.
+            def broken_snapshot(plan, shard):
+                raise RuntimeError("resync sabotaged")
+
+            plane.supervisor._state.shard_snapshot = broken_snapshot
+            victim = plane._pool.worker(0)
+            plane._pool.kill_worker(0)
+
+            # Drive traffic until the dead shard is noticed; with no
+            # inline fallback the plane poisons once the budget is spent.
+            with pytest.raises(ShardError):
+                for _ in range(6):
+                    packets = [build("inter") for _ in range(4)]
+                    plane.process(
+                        [p.to_wire() for p in packets],
+                        [True] * len(packets),
+                        world.as_a.clock(),
+                    )
+
+            fresh = plane._pool.worker(0)
+            assert fresh is not victim  # a respawn did happen
+            fresh.join(timeout=5.0)
+            assert not fresh.is_alive(), (
+                "half-respawned worker left running after its resync failed"
+            )
+            failures = plane.supervisor.failures
+            assert any("resync sabotaged" in f for _, f in failures)
         finally:
             plane.close()
 

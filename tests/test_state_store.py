@@ -416,6 +416,8 @@ def _shard_spec(plan, shard, state_backend, snapshot=b""):
         replay_window=None,
         replay_bits=0,
         shard_block=plan.block,
+        routing_mode=plan.mode,
+        routing_key=plan.key or b"",
         state_backend=state_backend,
         snapshot=snapshot,
     )
