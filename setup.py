@@ -5,6 +5,26 @@ PEP 660 editable wheels cannot be built; this shim lets
 ``pip install -e .`` fall back to ``setup.py develop``.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_version = {}
+exec((Path(__file__).parent / "src" / "repro" / "version.py").read_text(), _version)
+
+setup(
+    name="repro",
+    version=_version["__version__"],
+    description=(
+        "Source Accountability with Domain-brokered Privacy — reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro.analysis": ["baseline.txt"]},
+    entry_points={
+        "console_scripts": [
+            "repro-analyze=repro.analysis.cli:main",
+        ]
+    },
+    python_requires=">=3.9",
+)

@@ -1,0 +1,101 @@
+"""Command line front end: ``python -m repro.analysis`` / ``repro-analyze``.
+
+Exit status is the contract CI relies on: 0 when every finding is
+suppressed or baselined, 1 when anything new fires.  ``--format json``
+emits the full machine-readable report (the tier-1 driver test parses
+it); ``--rule`` narrows the run; ``--write-baseline`` grandfathers the
+current findings (use only when introducing a rule, never to absorb a
+regression — the baseline may only shrink afterwards).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .engine import (
+    DEFAULT_BASELINE,
+    DEFAULT_ROOT,
+    RULES,
+    run_analysis,
+    write_baseline,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Static-invariant analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help=f"tree to analyse (default: the installed repro package, "
+        f"{DEFAULT_ROOT})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"findings baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather the current findings into the baseline file",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.name:28s} {rule.title}")
+        return 0
+    try:
+        report = run_analysis(
+            args.root, rules=args.rule, baseline=args.baseline
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        path = args.baseline or DEFAULT_BASELINE
+        write_baseline(report.findings, path)
+        print(f"wrote {len(report.findings)} finding(s) to {path}")
+        return 0
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            marker = " (baselined)" if finding.key in report.baseline else ""
+            print(finding.render() + marker)
+        for entry in report.stale_baseline:
+            print(f"stale baseline entry (no longer fires): {entry}")
+        print(
+            f"{len(report.rules)} rule(s) over {report.checked_files} "
+            f"file(s): {len(report.new)} new, {len(report.baselined)} "
+            f"baselined, {len(report.suppressed)} suppressed"
+        )
+    return 1 if report.new else 0

@@ -1,0 +1,235 @@
+"""The rule engine: registry, driver, suppressions, findings baseline.
+
+A :class:`Rule` declares a **file scope** (glob patterns under the
+analysis root) and checks either one module at a time
+(:meth:`Rule.check_module`) or the whole project at once
+(:meth:`Rule.check_project`, for cross-module invariants).  Rules
+register themselves into :data:`RULES` at import; the driver runs every
+registered rule (or a ``--rule`` subset) and post-processes raw
+findings in two stages:
+
+1. **Inline suppressions** — a finding whose line (or the line above)
+   carries ``# audit: allow(<rule>)`` is recorded as suppressed, not
+   reported.  Use these for sites where the flagged pattern is the
+   point (a worker's intentionally unbounded request wait, say), with
+   the justification in the same comment.
+2. **Baseline** — a checked-in list of grandfathered finding keys
+   (``rule:file:line``).  A finding in the baseline does not fail the
+   run; anything *new* does.  The baseline may only ever shrink (a
+   repo-hygiene test enforces this), so old debt burns down while new
+   violations are stopped at the door.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .model import Module, Project, scope_match
+
+#: The tree the analyzer covers by default: the ``repro`` package.
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent
+
+#: The checked-in grandfathered-findings file, shipped with the package.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.txt"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    file: str  # path relative to the analysis root, posix separators
+    line: int
+    message: str
+
+    @property
+    def key(self) -> str:
+        """The stable identity used by baselines: ``rule:file:line``."""
+        return f"{self.rule}:{self.file}:{self.line}"
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, ``@register``."""
+
+    #: Registry key and the name ``# audit: allow(...)`` must use.
+    name: str = ""
+    #: One-line summary shown by ``--list-rules``.
+    title: str = ""
+    #: The bug/PR that motivated the rule (part of the contract: a rule
+    #: with no incident or dependency behind it doesn't belong here).
+    motivation: str = ""
+    #: Glob patterns (relative to the root) the rule applies to.
+    scope: "tuple[str, ...]" = ("**/*.py",)
+    #: Patterns carved back out of ``scope``.
+    exclude: "tuple[str, ...]" = ()
+    #: Project-wide rules see every module at once (cross-module
+    #: invariants); per-module rules are handed one file at a time.
+    project_wide: bool = False
+
+    def applies_to(self, rel: str) -> bool:
+        if scope_match(rel, self.exclude):
+            return False
+        return scope_match(rel, self.scope)
+
+    def check_module(self, module: Module) -> "Iterable[Finding]":
+        return ()
+
+    def check_project(self, project: Project) -> "Iterable[Finding]":
+        return ()
+
+
+#: Every registered rule, in registration order.
+RULES: "dict[str, Rule]" = {}
+
+
+def register(cls: "type[Rule]") -> "type[Rule]":
+    """Class decorator: instantiate and add to :data:`RULES`."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if rule.name in RULES:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    RULES[rule.name] = rule
+    return cls
+
+
+def load_baseline(path: "Path | str | None" = None) -> "set[str]":
+    """The grandfathered finding keys (missing file = empty baseline)."""
+    path = Path(path) if path is not None else DEFAULT_BASELINE
+    if not path.is_file():
+        return set()
+    entries = set()
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def write_baseline(findings: "Iterable[Finding]", path: "Path | str") -> None:
+    """Grandfather the given findings (sorted, one key per line)."""
+    entries = sorted({finding.key for finding in findings})
+    header = (
+        "# repro.analysis findings baseline — grandfathered violations.\n"
+        "# This file may only shrink (tests/test_repo_hygiene.py enforces\n"
+        "# it): fix or `# audit: allow(...)` a finding to remove its line,\n"
+        "# never add new ones.  Keys are rule:file:line.\n"
+    )
+    Path(path).write_text(header + "".join(f"{entry}\n" for entry in entries))
+
+
+@dataclasses.dataclass
+class Report:
+    """Everything one analysis run produced."""
+
+    findings: "list[Finding]"  # unsuppressed, baseline-agnostic
+    suppressed: "list[Finding]"
+    baseline: "set[str]"
+    checked_files: int
+    rules: "list[str]"
+
+    @property
+    def new(self) -> "list[Finding]":
+        """Findings not covered by the baseline — these fail the run."""
+        return [f for f in self.findings if f.key not in self.baseline]
+
+    @property
+    def baselined(self) -> "list[Finding]":
+        return [f for f in self.findings if f.key in self.baseline]
+
+    @property
+    def stale_baseline(self) -> "list[str]":
+        """Baseline keys that no longer fire — ripe for deletion."""
+        live = {f.key for f in self.findings}
+        return sorted(key for key in self.baseline if key not in live)
+
+    def to_json(self) -> dict:
+        baseline = self.baseline
+        return {
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "file": f.file,
+                    "line": f.line,
+                    "message": f.message,
+                    "baselined": f.key in baseline,
+                }
+                for f in self.findings
+            ],
+            "new": len(self.new),
+            "baselined": len(self.baselined),
+            "suppressed": len(self.suppressed),
+            "stale_baseline": self.stale_baseline,
+            "checked_files": self.checked_files,
+            "rules": self.rules,
+        }
+
+
+def iter_rules(names: "Iterable[str] | None" = None) -> "Iterator[Rule]":
+    if names is None:
+        yield from RULES.values()
+        return
+    for name in names:
+        if name not in RULES:
+            known = ", ".join(sorted(RULES))
+            raise KeyError(f"unknown rule {name!r} (known: {known})")
+        yield RULES[name]
+
+
+def run_analysis(
+    root: "Path | str | None" = None,
+    *,
+    rules: "Iterable[str] | None" = None,
+    baseline: "Path | str | set | None" = None,
+    project: "Project | None" = None,
+) -> Report:
+    """Run the selected rules and return the full :class:`Report`.
+
+    ``project`` overrides ``root`` (tests pass synthetic projects).
+    ``baseline`` may be a path or a pre-loaded key set; the default is
+    the checked-in :data:`DEFAULT_BASELINE`.
+    """
+    if project is None:
+        project = Project(root=Path(root) if root is not None else DEFAULT_ROOT)
+    if isinstance(baseline, set):
+        baseline_keys = baseline
+    else:
+        baseline_keys = load_baseline(baseline)
+    selected = list(iter_rules(rules))
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    checked: set[str] = set()
+    for rule in selected:
+        raw: list[Finding] = []
+        if rule.project_wide:
+            raw.extend(rule.check_project(project))
+            checked.update(rel for rel in project.rels() if rule.applies_to(rel))
+        else:
+            for rel in project.rels():
+                if not rule.applies_to(rel):
+                    continue
+                module = project.module(rel)
+                if module is None:
+                    continue
+                checked.add(rel)
+                raw.extend(rule.check_module(module))
+        for finding in raw:
+            module = project.module(finding.file)
+            if module is not None and module.allowed(rule.name, finding.line):
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    suppressed.sort(key=lambda f: (f.file, f.line, f.rule))
+    return Report(
+        findings=findings,
+        suppressed=suppressed,
+        baseline=baseline_keys,
+        checked_files=len(checked),
+        rules=[rule.name for rule in selected],
+    )

@@ -33,6 +33,7 @@ from __future__ import annotations
 import struct
 
 from ..core.accountability import AccountabilityAgent
+from ..core.errors import CertError
 from ..core.messages import ShutoffResponse
 from ..crypto import ed25519
 from ..crypto.util import ct_eq
@@ -139,9 +140,11 @@ class ExtendedAccountabilityAgent(AccountabilityAgent):
             return self._reject("requester-is-self")
 
         # The requester must be a real AS: RPKI key, valid signature.
+        # Only a certificate problem means "unknown AS" — anything else
+        # (a bug in the RPKI store) must propagate, not become a reject.
         try:
             requester_key = self._rpki.signing_key_of(request.requester_aid)
-        except Exception:
+        except CertError:
             return self._reject("requester-unknown-as")
         if not ed25519.verify(
             requester_key, request.signed_bytes(), request.signature

@@ -48,7 +48,10 @@ def issuance_worker(conn, worker_index: int) -> None:
 
     while True:
         try:
-            msg = conn.recv_bytes()
+            # Worker request loop: blocking forever *is* the contract —
+            # the parent's EOF (pool teardown) wakes it; the bounded
+            # side of the wait lives in run_issuance_shards' recv.
+            msg = conn.recv_bytes()  # audit: allow(bounded-wait)
         except (EOFError, OSError):
             break
         if not msg or msg[0] != _KIND_JOB:
@@ -56,9 +59,9 @@ def issuance_worker(conn, worker_index: int) -> None:
         try:
             _, requests, seed = _JOB.unpack(msg)
             elapsed = measure_issuance_rate(requests, seed=seed)
-        except Exception:
-            # Ship the traceback home; ShardProcessPool.recv_bytes turns
-            # it into a ShardError instead of a bare EOFError.
+        # Nothing is swallowed: the traceback ships home as a MSG_ERROR
+        # frame and ShardProcessPool.recv_bytes re-raises it as ShardError.
+        except Exception:  # audit: allow(silent-except)
             conn.send_bytes(wire.encode_error(traceback.format_exc()))
             continue
         conn.send_bytes(_RESULT.pack(_KIND_RESULT, requests, elapsed))

@@ -308,14 +308,19 @@ def data_plane_worker(conn, spec: ShardSpec) -> None:
     """
     try:
         state = ShardState(spec)
-    except Exception:
+    # Not swallowed: the construction traceback ships to the dispatcher
+    # as a MSG_ERROR frame, which recv_bytes re-raises as ShardError.
+    except Exception:  # audit: allow(silent-except)
         conn.send_bytes(wire.encode_error(traceback.format_exc()))
         conn.close()
         return
     held_error: "str | None" = None
     while True:
         try:
-            msg = conn.recv_bytes()
+            # Worker request loop: blocking forever is the contract (the
+            # dispatcher's EOF wakes it); the bounded side of every
+            # exchange is the dispatcher's supervised recv.
+            msg = conn.recv_bytes()  # audit: allow(bounded-wait)
         except (EOFError, OSError):
             break
         if not msg or msg[0] == wire.MSG_STOP:
@@ -341,7 +346,10 @@ def data_plane_worker(conn, spec: ShardSpec) -> None:
                 conn.send_bytes(state.handle_resync(msg))
             else:
                 held_error = f"unknown message kind {kind}"
-        except Exception:
+        # Not swallowed: the traceback crosses the pipe as a MSG_ERROR
+        # frame, either immediately (replying kinds) or held for the
+        # next reply slot so the verdict stream stays aligned.
+        except Exception:  # audit: allow(silent-except)
             if expects_reply:
                 conn.send_bytes(wire.encode_error(traceback.format_exc()))
             else:

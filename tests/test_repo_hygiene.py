@@ -1,8 +1,12 @@
-"""Guard: build artifacts must never be committed.
+"""Guards on the repository itself (not the code it holds).
 
-PR 3 accidentally committed 29 ``__pycache__/*.pyc`` files; they were
-removed and the patterns added to ``.gitignore``.  This test keeps the
-tree clean — it fails the moment a compiled artifact is tracked again.
+* Build artifacts must never be committed: PR 3 accidentally committed
+  29 ``__pycache__/*.pyc`` files; they were removed and the patterns
+  added to ``.gitignore``.
+* The static-analysis findings baseline may only ever *shrink*: the
+  grandfathered-debt list (``src/repro/analysis/baseline.txt``) exists
+  so old violations burn down while new ones fail tier-1 — quietly
+  adding entries would turn it into an amnesty machine.
 """
 
 import shutil
@@ -40,3 +44,44 @@ def test_gitignore_covers_bytecode():
     gitignore = (ROOT / ".gitignore").read_text()
     for pattern in ("__pycache__/", "*.pyc", "*.egg-info/", ".pytest_cache/"):
         assert pattern in gitignore, f".gitignore is missing {pattern!r}"
+
+
+_BASELINE_REL = "src/repro/analysis/baseline.txt"
+
+
+def _baseline_entries(text: str) -> set[str]:
+    return {
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    }
+
+
+def test_analysis_baseline_only_shrinks():
+    """No new grandfathered findings may sneak in via baseline edits.
+
+    Compares the working-tree baseline against the committed (HEAD)
+    version: entries may be removed (debt burned down) but never added
+    — a new violation must be fixed or carry an inline
+    ``# audit: allow(...)`` justification instead.
+    """
+    path = ROOT / _BASELINE_REL
+    assert path.is_file(), f"{_BASELINE_REL} missing — the analyzer needs it"
+    current = _baseline_entries(path.read_text())
+    if shutil.which("git") is None or not (ROOT / ".git").exists():
+        pytest.skip("not a git checkout")
+    result = subprocess.run(
+        ["git", "show", f"HEAD:{_BASELINE_REL}"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        return  # baseline not committed yet: nothing to compare against
+    committed = _baseline_entries(result.stdout)
+    added = sorted(current - committed)
+    assert not added, (
+        "findings baseline grew — fix the new violations or annotate them "
+        "with `# audit: allow(<rule>)` instead of grandfathering:\n  "
+        + "\n  ".join(added)
+    )

@@ -8,10 +8,11 @@ stays closed if nothing *else* quietly reintroduces residue arithmetic
 hand observers log2(nshards) linkage bits again, silently, with every
 test still green (the map is still a valid partition).
 
-So this audit walks the ASTs of every module on the dispatch/allocation
-path and flags any ``%`` whose modulus names a shard count.  Routing
-arithmetic is allowed only inside ``plan.py``; everyone else must go
-through ``ShardPlan.owner_of_iv*`` / ``owners_of_iv_bytes``.
+Since PR 9 the walk itself lives in :mod:`repro.analysis` as the
+``shard-routing-mod`` rule (so it runs under the unified analyzer with
+suppressions and a baseline); this file remains as the historical
+tier-1 anchor — a thin wrapper that pins the rule's scope and proves
+the detector still fires on the pre-PR-8 idiom.
 
 Deliberately *not* audited: ``state/view.py`` and ``state/columns.py``
 use ``blk % nshards`` for HID-block *ownership* (which rows a shard
@@ -19,72 +20,37 @@ stores) — that is keyed on the secret HID, not on clear packet bytes,
 and is not a routing decision an observer can replay.
 """
 
-import ast
-from pathlib import Path
+from repro.analysis import RULES, Module, run_analysis
+from repro.analysis.engine import DEFAULT_ROOT
 
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-
-#: Everything that sees clear IV bytes and a shard count.  ``plan.py``
-#: is the one module allowed to turn one into the other.
-AUDITED = sorted(
-    p for p in (SRC / "sharding").glob("*.py") if p.name != "plan.py"
-) + [
-    SRC / "core" / "ephid.py",
-    SRC / "core" / "border_router.py",
-    SRC / "core" / "autonomous_system.py",
-]
-
-#: Identifier substrings that mark a modulus as a shard count.
-SHARD_TOKENS = ("nshards", "num_shards", "shard_count", "n_shards")
-
-
-def _names_shard_count(node: ast.expr) -> bool:
-    if isinstance(node, ast.Name):
-        name = node.id.lower()
-    elif isinstance(node, ast.Attribute):
-        name = node.attr.lower()
-    else:
-        # Constants (``% 2**32`` wraparound) and calls are fine: the
-        # leak class is specifically reduction modulo the shard count.
-        return False
-    return any(token in name for token in SHARD_TOKENS)
-
-
-def _violations(path: Path) -> list[str]:
-    tree = ast.parse(path.read_text(), filename=str(path))
-    found = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
-            if _names_shard_count(node.right):
-                found.append(
-                    f"{path.relative_to(SRC.parent.parent)}:{node.lineno}"
-                )
-    return found
+RULE = RULES["shard-routing-mod"]
 
 
 def test_audited_files_exist():
-    for path in AUDITED:
-        assert path.is_file(), f"audited module moved or deleted: {path}"
+    for pattern in RULE.scope:
+        matches = sorted(DEFAULT_ROOT.glob(pattern))
+        assert matches, f"audited scope matches nothing: {pattern}"
+    # plan.py is the one module allowed to hold routing arithmetic.
+    assert (DEFAULT_ROOT / "sharding" / "plan.py").is_file()
+    assert not RULE.applies_to("sharding/plan.py")
+    # The HID-block ownership arithmetic stays out of scope on purpose.
+    assert not RULE.applies_to("state/view.py")
+    assert not RULE.applies_to("state/columns.py")
 
 
 def test_plan_is_the_only_router():
-    violations = [v for path in AUDITED for v in _violations(path)]
-    assert not violations, (
+    report = run_analysis(rules=["shard-routing-mod"], baseline=set())
+    assert not report.findings, (
         "shard-count modulo outside ShardPlan — route via "
         "plan.owner_of_iv*/owners_of_iv_bytes instead:\n  "
-        + "\n  ".join(violations)
+        + "\n  ".join(f.render() for f in report.findings)
     )
 
 
 def test_audit_catches_residue_routing():
     """The detector itself must fire on the pre-PR-8 idiom."""
     bad = "def shard_of(iv, nshards):\n    return iv % nshards\n"
-    tree = ast.parse(bad)
-    hits = [
-        n
-        for n in ast.walk(tree)
-        if isinstance(n, ast.BinOp)
-        and isinstance(n.op, ast.Mod)
-        and _names_shard_count(n.right)
-    ]
-    assert hits, "audit no longer detects iv % nshards routing"
+    module = Module.from_source(bad, "sharding/fixture.py")
+    assert list(RULE.check_module(module)), (
+        "audit no longer detects iv % nshards routing"
+    )

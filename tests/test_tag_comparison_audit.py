@@ -6,70 +6,61 @@ timing-oracle forgery).  Every tag comparison in the crypto package and
 its hot-path consumers must go through :func:`repro.crypto.util.ct_eq`
 (which delegates to :func:`hmac.compare_digest`).
 
-The audit walks the ASTs of the audited modules and flags any ``==`` /
-``!=`` whose operand is a name or attribute that looks like a tag or
-MAC.  Length checks (``len(tag) != 4``) are fine — the operand there is
-the ``len()`` call, not the tag itself — as are comparisons of
-non-secret values.
+Since PR 9 the walk itself lives in :mod:`repro.analysis` as the
+``ct-compare`` rule (so it runs under the unified analyzer with
+suppressions and a baseline); this file remains as the historical
+tier-1 anchor — a thin wrapper that pins the rule's scope and proves
+the detector still fires on the known-bad idioms PR 3 fixed.
 """
 
-import ast
-from pathlib import Path
+from repro.analysis import RULES, Module, run_analysis
+from repro.analysis.engine import DEFAULT_ROOT
 
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-
-#: Modules holding tag comparisons on secret-dependent hot paths.
-AUDITED = sorted(SRC.glob("crypto/*.py")) + [
-    SRC / "core" / "ephid.py",
-    SRC / "core" / "border_router.py",
-    SRC / "core" / "icmp_crypto.py",
-    SRC / "pathval" / "opt.py",
-    SRC / "pathval" / "passport.py",
-    SRC / "pathval" / "shutoff_ext.py",
-]
-
-#: Identifier substrings that mark a value as an authentication tag.
-#: "expected"/"presented" catch the `expected = cmac(...); presented != expected`
-#: idiom where neither local is named after the tag itself.
-TAG_TOKENS = ("tag", "mac", "digest", "expected", "presented")
-
-
-def _is_tag_operand(node: ast.expr) -> bool:
-    if isinstance(node, ast.Name):
-        name = node.id.lower()
-    elif isinstance(node, ast.Attribute):
-        name = node.attr.lower()
-    else:
-        return False
-    # Length checks and key-identity guards (e.g. ``enc_key == mac_key``)
-    # compare non-secret-position values, not tags.
-    if "length" in name or "size" in name or "key" in name:
-        return False
-    return any(token in name for token in TAG_TOKENS)
-
-
-def _violations(path: Path) -> list[str]:
-    tree = ast.parse(path.read_text(), filename=str(path))
-    found = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Compare):
-            continue
-        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
-            continue
-        operands = [node.left, *node.comparators]
-        if any(_is_tag_operand(operand) for operand in operands):
-            found.append(f"{path.relative_to(SRC.parent.parent)}:{node.lineno}")
-    return found
+RULE = RULES["ct-compare"]
 
 
 def test_audited_files_exist():
-    for path in AUDITED:
-        assert path.is_file(), f"audited module moved or deleted: {path}"
+    for pattern in RULE.scope:
+        matches = sorted(DEFAULT_ROOT.glob(pattern))
+        assert matches, f"audited scope matches nothing: {pattern}"
+        for path in matches:
+            assert path.is_file(), f"audited module moved or deleted: {path}"
 
 
 def test_no_equality_comparison_on_tags():
-    violations = [v for path in AUDITED for v in _violations(path)]
-    assert not violations, (
+    report = run_analysis(rules=["ct-compare"], baseline=set())
+    assert not report.findings, (
         "authentication tags compared with ==/!= (use repro.crypto.util.ct_eq "
-        "or hmac.compare_digest):\n  " + "\n  ".join(violations)
+        "or hmac.compare_digest):\n  "
+        + "\n  ".join(f.render() for f in report.findings)
     )
+
+
+def test_audit_catches_tag_comparison():
+    """The detector itself must fire on the pre-PR-3 idioms."""
+    direct = "def check(tag, other):\n    return tag == other\n"
+    module = Module.from_source(direct, "crypto/fixture.py")
+    assert list(RULE.check_module(module)), "audit no longer detects tag =="
+
+    # The `presented != expected` idiom (PassportVerifier, PR 3): neither
+    # local is named after the tag itself.
+    renamed = (
+        "def verify(presented, data, key):\n"
+        "    expected = cmac(key, data)\n"
+        "    return not (presented != expected)\n"
+    )
+    module = Module.from_source(renamed, "crypto/fixture.py")
+    assert list(RULE.check_module(module)), (
+        "audit no longer detects the presented/expected idiom"
+    )
+
+
+def test_length_checks_are_not_flagged():
+    good = (
+        "def check(tag):\n"
+        "    if len(tag) != 4:\n"
+        "        return False\n"
+        "    return tag_length == 4 and enc_key == mac_key\n"
+    )
+    module = Module.from_source(good, "crypto/fixture.py")
+    assert not list(RULE.check_module(module))
