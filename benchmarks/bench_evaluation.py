@@ -1,0 +1,57 @@
+"""Evaluation-runner bench — one arm per adversarial/churn preset.
+
+Times a full invariant-checked scenario run (world build, population
+registration, shard-pool spawn, traffic, verdict oracle, teardown) for
+each preset the PR 10 evaluation pack registers.  The paper-shape
+verdict attached to every arm is the runner's own: every declared
+invariant held.  ``churn`` additionally proves its crash storm fired
+and converged, which makes this the one benchmark that times the
+recovery path end to end.
+"""
+
+import pytest
+
+from repro.evaluation import EvaluationRunner
+
+SCALE = 10_000
+
+
+def _run(preset, *, chaos=False, seed=7):
+    runner = EvaluationRunner(
+        scale=SCALE,
+        seed=seed,
+        nshards=2,
+        chaos=chaos,
+        burst_size=64,
+        max_sources=128,
+    )
+    return runner.run(preset)
+
+
+@pytest.mark.parametrize(
+    "preset",
+    ["flash-crowd", "revocation-wave", "migration", "shutoff-storm", "churn"],
+)
+def test_evaluation_preset(benchmark, preset):
+    report = benchmark.pedantic(lambda: _run(preset), rounds=2, iterations=1)
+    assert report.passed, "\n".join(f.render() for f in report.failures())
+    benchmark.extra_info["population"] = report.population
+    benchmark.extra_info["packets"] = report.packets
+    benchmark.extra_info["delivered"] = report.delivered
+    benchmark.extra_info["invariants"] = len(report.invariants)
+    benchmark.extra_info["p99_ms"] = report.latency.get("p99_ms")
+
+
+def test_evaluation_chaos_composition(benchmark):
+    """A crash storm layered on revocation-wave: losses stay exact."""
+    report = benchmark.pedantic(
+        lambda: _run("revocation-wave", chaos=True, seed=11),
+        rounds=2,
+        iterations=1,
+    )
+    assert report.passed, "\n".join(f.render() for f in report.failures())
+    benchmark.extra_info["packets"] = report.packets
+    benchmark.extra_info["shard_failures"] = report.drop_reasons.get(
+        "shard-failure", 0
+    )
+    benchmark.extra_info["invariants"] = len(report.invariants)

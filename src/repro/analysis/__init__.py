@@ -60,6 +60,11 @@ depends on — the motivating bug/PR is part of the rule's definition:
 ``silent-except`` (recovery/teardown debugging)
     Broad ``except Exception:`` handlers must narrow the type, bind and
     use the exception, re-raise, or carry an inline justification.
+``scenario-coverage`` (PR 10)
+    Every ``@register("name")`` preset in ``scenarios.py`` is
+    referenced by at least one test under ``tests/``.  The evaluation
+    runner resolves worlds by preset name, so an unreferenced preset is
+    an eval surface with zero regression protection.
 
 Suppressions and the baseline
 =============================
@@ -102,6 +107,7 @@ from . import rules_privacy  # noqa: E402,F401  (shard-routing-mod, secret-hygie
 from . import rules_determinism  # noqa: E402,F401  (determinism)
 from . import rules_ipc  # noqa: E402,F401  (bounded-wait, pickle-free-wire, wire-protocol-completeness)
 from . import rules_exceptions  # noqa: E402,F401  (silent-except)
+from . import rules_scenarios  # noqa: E402,F401  (scenario-coverage)
 
 __all__ = [
     "DEFAULT_BASELINE",

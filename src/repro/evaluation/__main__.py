@@ -1,0 +1,79 @@
+"""Command line front end: ``python -m repro.evaluation``.
+
+Runs the scenario matrix (or a named subset) and prints the text
+report; ``--json PATH`` also writes the machine-readable report.  Exit
+status 0 iff every invariant of every selected scenario held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..scenarios import TopologyError, _scale_int
+from .runner import EvaluationRunner
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation",
+        description=(
+            "Scenario-matrix evaluation: adversarial/churn presets "
+            "against declared invariants."
+        ),
+    )
+    parser.add_argument(
+        "presets",
+        nargs="*",
+        default=None,
+        help="case names to run (default: the whole registered matrix)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="1k",
+        help="population per AS, k/M suffixes allowed (default: 1k)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="arm a crash storm on every scenario's data plane",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to PATH",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered cases and exit"
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        for name in EvaluationRunner.case_names():
+            print(name)
+        return 0
+    try:
+        scale = _scale_int(args.scale, "--scale N (e.g. 10k, 1M)")
+        runner = EvaluationRunner(
+            scale=scale, seed=args.seed, nshards=args.shards, chaos=args.chaos
+        )
+        report = runner.run_all(args.presets or None)
+    except (TopologyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_text())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.json}")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""The declared pass/fail invariants of the evaluation runner.
+
+Each helper reduces a scenario's raw tallies to one
+:class:`~repro.evaluation.report.InvariantResult`, with the measurement
+spelled out in the detail line so a failing report is diagnosable
+without rerunning.  The four families (ISSUE archetype: robustness):
+
+* **no-false-drops** — every delivered verdict equals the single-process
+  oracle's, and nominal runs lose nothing at all;
+* **exact-accounting** — delivered + failed == offered, and the plane's
+  ``stats()`` ledger charges exactly the failed ones to
+  ``DropReason.SHARD_FAILURE``;
+* **bounded-latency** — the p99 of per-burst wall latency stays under
+  the scenario's budget (measured with
+  :class:`repro.metrics.LatencyHistogram`, conservative upper edges);
+* **convergence** — after the churn/storm ends, a probe round is
+  failure-free and oracle-exact again.
+"""
+
+from __future__ import annotations
+
+from ..core.border_router import DropReason
+from ..metrics import LatencyHistogram
+from .report import InvariantResult
+
+__all__ = [
+    "bounded_latency",
+    "convergence",
+    "exact_accounting",
+    "expected_drops",
+    "no_false_drops",
+]
+
+
+def no_false_drops(
+    mismatches: int, delivered: int, failures: int, *, chaos: bool
+) -> InvariantResult:
+    """Delivered verdicts match the oracle; nominal runs lose nothing."""
+    passed = mismatches == 0 and (chaos or failures == 0)
+    detail = (
+        f"{delivered} delivered verdicts, {mismatches} diverged from the "
+        f"oracle, {failures} lost to shard failures"
+        f"{' (chaos run: losses allowed, divergence not)' if chaos else ''}"
+    )
+    return InvariantResult("no-false-drops", passed, detail)
+
+
+def exact_accounting(
+    total: int, delivered: int, failures: int, stats: dict
+) -> InvariantResult:
+    """Every offered packet is either delivered or charged to the ledger."""
+    charged = stats.get(DropReason.SHARD_FAILURE.value, 0)
+    dropped = stats.get("dropped_packets", 0)
+    passed = delivered + failures == total and charged == failures and (
+        dropped == failures
+    )
+    detail = (
+        f"{total} offered = {delivered} delivered + {failures} failed; "
+        f"ledger charged {charged} shard-failure drops "
+        f"({dropped} dropped_packets)"
+    )
+    return InvariantResult("exact-accounting", passed, detail)
+
+
+def expected_drops(
+    name: str, drop_reasons: dict, expected: dict
+) -> InvariantResult:
+    """The per-reason drop ledger matches the scenario's own arithmetic.
+
+    ``expected`` maps :class:`DropReason` (or its ``.value``) to the
+    count the scenario computed from first principles (how many sources
+    it revoked, migrated, ...).  Reasons absent from ``expected`` must
+    not appear in the ledger at all.
+    """
+    want = {
+        (key.value if isinstance(key, DropReason) else key): count
+        for key, count in expected.items()
+    }
+    got = {reason: count for reason, count in drop_reasons.items() if count}
+    passed = got == {reason: count for reason, count in want.items() if count}
+    detail = f"expected {want or '{}'}, ledger shows {got or '{}'}"
+    return InvariantResult(name, passed, detail)
+
+
+def bounded_latency(
+    histogram: LatencyHistogram, budget: float
+) -> InvariantResult:
+    """p99 of per-burst wall latency stays under ``budget`` seconds."""
+    p99 = histogram.p99
+    passed = histogram.count > 0 and p99 <= budget
+    detail = (
+        f"p99 {p99 * 1e3:.3f}ms vs budget {budget * 1e3:.0f}ms over "
+        f"{histogram.count} bursts"
+    )
+    return InvariantResult("bounded-latency", passed, detail)
+
+
+def convergence(
+    probe_mismatches: int, probe_failures: int, probe_packets: int
+) -> InvariantResult:
+    """After the storm, a probe round is loss-free and oracle-exact."""
+    passed = (
+        probe_packets > 0 and probe_mismatches == 0 and probe_failures == 0
+    )
+    detail = (
+        f"post-churn probe of {probe_packets} packets: "
+        f"{probe_failures} shard failures, {probe_mismatches} oracle "
+        "divergences"
+    )
+    return InvariantResult("convergence", passed, detail)

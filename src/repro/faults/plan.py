@@ -29,6 +29,21 @@ Fault kinds, and the failure they model:
     benign scheduling jitter.  A supervised plane must absorb delays
     shorter than its reply timeout with **no** recovery action; this is
     the false-positive check of the suite.
+``drop``
+    The worker's reply is lost in transit: the worker computed and sent
+    it, but the dispatcher never sees it — a dropped datagram on the
+    socket transports the ROADMAP points at.  The bounded wait is
+    charged immediately (no real sleep), so recovery follows exactly
+    the timeout path: the sub-burst is dropped-and-counted and the
+    worker restarted.
+``duplicate``
+    The worker's reply arrives **twice**: once normally, and again
+    (stale) ahead of the shard's next real reply — datagram replay on
+    the transport.  Benign by construction: every reply echoes its
+    burst seq, so the stale copy is discarded by the dispatcher's seq
+    check (counted in ``stats()["stale_replies"]``) with no drops and
+    no restarts — the duplicate analogue of ``delay``'s false-positive
+    bar.
 
 Every consulted injection is appended to :attr:`FaultPlan.injected`
 (``(shard, seq, kind)``), so a test can assert that the storm it asked
@@ -50,7 +65,7 @@ __all__ = [
 
 #: Recognised fault kinds, in the order :func:`crash_storm_plan` cycles
 #: through them.
-FAULT_KINDS = ("kill", "hang", "error", "garbage", "delay")
+FAULT_KINDS = ("kill", "hang", "error", "garbage", "delay", "drop", "duplicate")
 
 
 @dataclass(frozen=True)

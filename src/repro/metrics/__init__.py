@@ -1,5 +1,5 @@
 """Measurement helpers shared by the experiment runners."""
 
-from .timing import Timer, format_table, rate, time_loop
+from .timing import LatencyHistogram, Timer, format_table, rate, time_loop
 
-__all__ = ["Timer", "format_table", "rate", "time_loop"]
+__all__ = ["LatencyHistogram", "Timer", "format_table", "rate", "time_loop"]

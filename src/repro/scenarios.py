@@ -215,6 +215,153 @@ def _metro(arg: str | None) -> TopologySpec:
     )
 
 
+def _population_pair(hosts_per_as: int, *, preset: str) -> TopologySpec:
+    """The metro shape shared by the adversarial/churn presets.
+
+    Fig. 1 pair, ``alice``/``bob`` attached for protocol-level traffic,
+    plus a bulk population of ``hosts_per_as`` registered HIDs per AS.
+    The presets below differ in the *traffic and fault pattern* their
+    :mod:`repro.evaluation` case drives through this shape, not in the
+    wiring itself.
+    """
+    if hosts_per_as < 1:
+        raise TopologyError(
+            f"{preset} needs at least one population host per AS, "
+            f"got {hosts_per_as}"
+        )
+    from .topology import HostSpec, PopulationSpec
+
+    spec = TopologySpec.fig1()
+    return replace(
+        spec.with_hosts(HostSpec("alice", at="a"), HostSpec("bob", at="b")),
+        populations=(
+            PopulationSpec("a", hosts_per_as),
+            PopulationSpec("b", hosts_per_as),
+        ),
+    )
+
+
+@register(
+    "flash-crowd",
+    description=(
+        "fig1 pair with an N-host population per AS for sudden many-source "
+        "surges (flash-crowd:N, k/M suffixes, default 10k); the evaluation "
+        "case floods cold sources at the border in one burst wave"
+    ),
+)
+def _flash_crowd(arg: str | None) -> TopologySpec:
+    """The surge shape: a metro population that all speaks at once.
+
+    Every source is cold — no verdict cache, no warmed EphID — so a
+    flash crowd stresses exactly the paper's §V-B per-packet verification
+    budget.  The matching :mod:`repro.evaluation` case sweeps the whole
+    population through the border in interleaved bursts and holds the
+    zero-false-drop and bounded-p99 invariants.
+    """
+    usage = "flash-crowd:N (e.g. flash-crowd:10k)"
+    n = 10_000 if arg is None else _scale_int(arg, usage)
+    return _population_pair(n, preset="flash-crowd")
+
+
+@register(
+    "revocation-wave",
+    description=(
+        "fig1 pair with an N-host population per AS where a rolling slice "
+        "of sources is revoked mid-traffic (revocation-wave:N, k/M "
+        "suffixes, default 10k)"
+    ),
+)
+def _revocation_wave(arg: str | None) -> TopologySpec:
+    """The revocation shape: live traffic racing a wave of revocations.
+
+    The evaluation case revokes successive slices of the population's
+    EphIDs *between* bursts that keep using them, asserting the exact
+    flip from ``FORWARD`` to ``DROP(SRC_REVOKED)`` with no collateral
+    drops of unrevoked neighbours (§IV-D's shutoff end state).
+    """
+    usage = "revocation-wave:N (e.g. revocation-wave:10k)"
+    n = 10_000 if arg is None else _scale_int(arg, usage)
+    return _population_pair(n, preset="revocation-wave")
+
+
+@register(
+    "migration",
+    description=(
+        "fig1 pair with an N-host population per AS where sources are "
+        "deregistered at one AS and re-admitted at the peer "
+        "(migration:N, k/M suffixes, default 10k)"
+    ),
+)
+def _migration(arg: str | None) -> TopologySpec:
+    """The mobility shape: hosts leaving one AS and joining the peer.
+
+    The evaluation case tears a slice of ``a``'s population out of the
+    host database (their stale EphIDs must drop as ``SRC_HID_INVALID``)
+    and registers replacements at ``b`` whose fresh EphIDs must forward
+    immediately — the churn half of the §V-A2 registry lifecycle.
+    """
+    usage = "migration:N (e.g. migration:10k)"
+    n = 10_000 if arg is None else _scale_int(arg, usage)
+    return _population_pair(n, preset="migration")
+
+
+@register(
+    "churn",
+    description=(
+        "fig1 pair with an N-host population per AS run under a "
+        "repro.faults crash-storm while traffic flows (churn:N, k/M "
+        "suffixes, default 10k); the composition layer over flash-crowd"
+    ),
+)
+def _churn(arg: str | None) -> TopologySpec:
+    """The composition shape: flash-crowd traffic under a fault storm.
+
+    Topology-wise identical to ``flash-crowd:N``; the evaluation case
+    arms a :func:`repro.faults.crash_storm_plan` on the sharded data
+    plane and holds the exact-accounting invariant — every packet either
+    matches the single-process oracle's verdict or is charged to
+    ``SHARD_FAILURE``, with the two tallies reconciling to the burst.
+    """
+    usage = "churn:N (e.g. churn:10k)"
+    n = 10_000 if arg is None else _scale_int(arg, usage)
+    return _population_pair(n, preset="churn")
+
+
+@register(
+    "shutoff-storm",
+    description=(
+        "3-AS chain with an N-host population at the source AS for "
+        "on-path shutoff complaint storms via pathval.shutoff_ext "
+        "(shutoff-storm:N, k/M suffixes, default 1k)"
+    ),
+)
+def _shutoff_storm(arg: str | None) -> TopologySpec:
+    """The on-path complaint shape: a transit AS flooding Fig. 5 shutoffs.
+
+    A ``src — transit — dst`` chain with named endpoints and a bulk
+    population at the source AS.  The evaluation case upgrades the
+    source's accountability agent with
+    :func:`repro.pathval.upgrade_to_onpath`, then fires a storm of
+    passport-stamped on-path shutoff requests from the transit —
+    interleaving valid, forged-signature and wrong-stamp complaints —
+    and asserts the accept/reject ledger and the resulting
+    ``SRC_REVOKED`` drops, while unaccused sources keep forwarding.
+    """
+    usage = "shutoff-storm:N (e.g. shutoff-storm:1k)"
+    n = 1_000 if arg is None else _scale_int(arg, usage)
+    if n < 1:
+        raise TopologyError(
+            f"shutoff-storm needs at least one population host, got {n}"
+        )
+    from .topology import HostSpec, PopulationSpec
+
+    spec = TopologySpec.chain(3)
+    return replace(
+        spec.with_hosts(HostSpec("src", at="as1"), HostSpec("dst", at="as3")),
+        populations=(PopulationSpec("as1", n),),
+    )
+
+
 @register("star", description="one transit hub with N stub leaves")
 def _star(arg: str | None) -> TopologySpec:
     return TopologySpec.star(_int_arg(arg, "star:N"))

@@ -367,6 +367,9 @@ class _ActiveFaults:
         #: live worker's reply to burst N+1 would be paired with hung
         #: burst N.  A restart installs a new Process and clears it.
         self._hung: "dict[int, object]" = {}
+        #: shard -> replies duplicated in transit, surfaced (stale) ahead
+        #: of the shard's next real reply — transport-level replay.
+        self._dup_replies: "dict[int, deque[bytes]]" = {}
 
     def _is_hung(self, shard: int) -> bool:
         proc = self._hung.get(shard)
@@ -398,12 +401,32 @@ class _ActiveFaults:
             self.plan.mark_injected(shard, seq, "delay")
             time.sleep(fault.delay)
 
-    def on_burst_reply(self, shard: int, seq: int, msg: bytes) -> bytes:
+    def on_burst_reply(self, shard: int, seq: int, msg: bytes) -> "bytes | None":
+        """Transform a received reply; ``None`` means it was lost in
+        transit (the ``drop`` kind) and the caller must treat the wait
+        as expired."""
         fault = self.plan.fault_for(shard, seq)
-        if fault is not None and fault.kind == "garbage":
+        if fault is None:
+            return msg
+        if fault.kind == "garbage":
             self.plan.mark_injected(shard, seq, "garbage")
             return self._GARBAGE
+        if fault.kind == "drop":
+            self.plan.mark_injected(shard, seq, "drop")
+            return None
+        if fault.kind == "duplicate":
+            self.plan.mark_injected(shard, seq, "duplicate")
+            self._dup_replies.setdefault(shard, deque()).append(msg)
         return msg
+
+    def stale_reply(self, shard: int) -> "bytes | None":
+        """A duplicated reply still 'in the wire' for ``shard``, if any
+        — delivered before the shard's next real reply, exactly where a
+        replayed datagram would surface."""
+        queue = self._dup_replies.get(shard)
+        if not queue:
+            return None
+        return queue.popleft()
 
 
 class ShardedDataPlane:
@@ -458,6 +481,9 @@ class ShardedDataPlane:
         #: Dropped-and-counted work owed by failed workers.
         self.dropped_bursts = 0
         self.dropped_packets = 0
+        #: Replies whose echoed burst seq was already paired — duplicates
+        #: discarded by the seq check, never re-delivered as verdicts.
+        self.stale_replies_discarded = 0
         self._faults: "_ActiveFaults | None" = None
         #: Dispatcher-side transit forwarding (no shard round-trip).
         self.forwarded_inter = 0
@@ -722,8 +748,16 @@ class ShardedDataPlane:
                     "burst — the burst message counts packets in a u16; "
                     "split the burst"
                 )
+        # Each shard appears at most once per burst, so its seq at encode
+        # time is simply its next unconsumed counter value.
         messages = [
-            (shard, indices, wire.encode_burst(now, shard_frames, directions))
+            (
+                shard,
+                indices,
+                wire.encode_burst(
+                    now, self._burst_seq[shard], shard_frames, directions
+                ),
+            )
             for shard, (indices, shard_frames, directions) in by_shard.items()
         ]
         for i, dst_aid in transit:
@@ -800,16 +834,12 @@ class ShardedDataPlane:
             try:
                 if self._faults is not None:
                     self._faults.before_burst_reply(shard, seq)
-                msg = self._pool.recv_bytes(
-                    shard, timeout=self._policy.reply_timeout
-                )
-                if self._faults is not None:
-                    msg = self._faults.on_burst_reply(shard, seq, msg)
-                verdicts = wire.decode_verdicts(msg)
+                reply_seq, verdicts = self._next_reply(shard, seq)
                 if len(verdicts) != len(indices):
                     raise ShardError(
-                        f"shard {shard}: reply carried {len(verdicts)} "
-                        f"verdicts for a {len(indices)}-packet sub-burst",
+                        f"shard {shard}: reply #{reply_seq} carried "
+                        f"{len(verdicts)} verdicts for a "
+                        f"{len(indices)}-packet sub-burst",
                         shard=shard,
                     )
             except ShardError as exc:
@@ -833,6 +863,52 @@ class ShardedDataPlane:
                 ticket.verdicts[i] = verdict
             self._in_flight_verdicts -= len(indices)
         return ticket.verdicts  # type: ignore[return-value]  # all slots filled
+
+    def _next_reply(self, shard: int, seq: int) -> "tuple[int, list[Verdict]]":
+        """The verdict reply for burst ``seq`` of ``shard``.
+
+        The reply stream is checked, not assumed: every verdict message
+        echoes the burst seq it answers, so a reply duplicated in
+        transit (the ``duplicate`` fault today, datagram replay on a
+        real transport) is recognised as stale — already paired once —
+        and discarded with a counter instead of being silently married
+        to the wrong burst.  A *future* seq can only mean dispatcher
+        state corruption and fails the shard.  The ``drop`` fault
+        surfaces here as a lost reply: the bounded wait is charged
+        immediately (no real sleep) and recovery proceeds exactly as a
+        timeout would.
+        """
+        while True:
+            stale = (
+                self._faults.stale_reply(shard)
+                if self._faults is not None
+                else None
+            )
+            if stale is not None:
+                msg = stale
+            else:
+                msg = self._pool.recv_bytes(
+                    shard, timeout=self._policy.reply_timeout
+                )
+                if self._faults is not None:
+                    msg = self._faults.on_burst_reply(shard, seq, msg)
+                    if msg is None:
+                        raise ShardTimeout(
+                            f"shard {shard}: reply for burst #{seq} "
+                            "dropped in transit (injected)",
+                            shard=shard,
+                        )
+            reply_seq, verdicts = wire.decode_verdicts(msg)
+            if reply_seq == seq:
+                return reply_seq, verdicts
+            if reply_seq < seq:
+                self.stale_replies_discarded += 1
+                continue
+            raise ShardError(
+                f"shard {shard}: reply for future burst #{reply_seq} "
+                f"while waiting on #{seq}",
+                shard=shard,
+            )
 
     # -- failure handling ---------------------------------------------------
 
@@ -1076,6 +1152,7 @@ class ShardedDataPlane:
         totals["restarts"] = self.supervisor.total_restarts
         totals["dropped_bursts"] = self.dropped_bursts
         totals["dropped_packets"] = self.dropped_packets
+        totals["stale_replies"] = self.stale_replies_discarded
         totals["degraded"] = 0 if self.degraded is None else 1
         return totals
 

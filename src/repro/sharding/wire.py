@@ -8,6 +8,14 @@ pipe, which is what guarantees ordering: a revoke written before a burst
 is processed by the worker before that burst's verdicts are computed.
 
 All integers are big-endian; every message starts with a one-byte kind.
+
+Burst messages carry the dispatcher's per-shard sequence number and the
+verdict reply echoes it back.  On a pipe the echo is redundant — message
+boundaries are reliable — but it is what makes reply pairing *checkable*
+instead of assumed: a duplicated or replayed reply (possible on the UDP
+transport the ROADMAP points at, injected today by the ``duplicate``
+fault kind) carries a stale sequence number and is discarded instead of
+being silently paired with the wrong burst.
 """
 
 from __future__ import annotations
@@ -32,9 +40,9 @@ MSG_RESYNC_ACK = 10
 EGRESS = 0
 INGRESS = 1
 
-_BURST_HEAD = struct.Struct(">BdH")  # kind, now, count
+_BURST_HEAD = struct.Struct(">BdIH")  # kind, now, burst seq, count
 _PACKET_HEAD = struct.Struct(">BI")  # direction, frame length
-_VERDICTS_HEAD = struct.Struct(">BH")  # kind, count
+_VERDICTS_HEAD = struct.Struct(">BIH")  # kind, echoed burst seq, count
 #: action, reason, presence flags, hid, next_aid.  Presence is explicit
 #: (no in-band sentinel) because the full u32 range is legal for both
 #: AIDs and HIDs.
@@ -62,17 +70,20 @@ STATS_FIELDS = tuple(reason.value for reason in _REASONS) + (
 _STATS_REPLY = struct.Struct(f">B{len(STATS_FIELDS)}Q")
 
 
-def encode_burst(now: float, frames: "list[bytes]", directions: "list[int]") -> bytes:
-    """Pack one burst: the shared clock read plus the raw wire frames."""
-    parts = [_BURST_HEAD.pack(MSG_BURST, now, len(frames))]
+def encode_burst(
+    now: float, seq: int, frames: "list[bytes]", directions: "list[int]"
+) -> bytes:
+    """Pack one burst: the shared clock read, the dispatcher's per-shard
+    burst sequence number, and the raw wire frames."""
+    parts = [_BURST_HEAD.pack(MSG_BURST, now, seq, len(frames))]
     for frame, direction in zip(frames, directions):
         parts.append(_PACKET_HEAD.pack(direction, len(frame)))
         parts.append(frame)
     return b"".join(parts)
 
 
-def decode_burst(msg: bytes) -> "tuple[float, list[bytes], list[int]]":
-    _, now, count = _BURST_HEAD.unpack_from(msg)
+def decode_burst(msg: bytes) -> "tuple[float, int, list[bytes], list[int]]":
+    _, now, seq, count = _BURST_HEAD.unpack_from(msg)
     offset = _BURST_HEAD.size
     frames: list[bytes] = []
     directions: list[int] = []
@@ -82,11 +93,12 @@ def decode_burst(msg: bytes) -> "tuple[float, list[bytes], list[int]]":
         frames.append(msg[offset : offset + length])
         directions.append(direction)
         offset += length
-    return now, frames, directions
+    return now, seq, frames, directions
 
 
-def encode_verdicts(verdicts: "list[Verdict]") -> bytes:
-    parts = [_VERDICTS_HEAD.pack(MSG_VERDICTS, len(verdicts))]
+def encode_verdicts(seq: int, verdicts: "list[Verdict]") -> bytes:
+    """Pack a verdict vector; ``seq`` echoes the burst it answers."""
+    parts = [_VERDICTS_HEAD.pack(MSG_VERDICTS, seq, len(verdicts))]
     for verdict in verdicts:
         flags = 0
         if verdict.hid is not None:
@@ -105,8 +117,8 @@ def encode_verdicts(verdicts: "list[Verdict]") -> bytes:
     return b"".join(parts)
 
 
-def decode_verdicts(msg: bytes) -> "list[Verdict]":
-    _, count = _VERDICTS_HEAD.unpack_from(msg)
+def decode_verdicts(msg: bytes) -> "tuple[int, list[Verdict]]":
+    _, seq, count = _VERDICTS_HEAD.unpack_from(msg)
     offset = _VERDICTS_HEAD.size
     verdicts: list[Verdict] = []
     for _ in range(count):
@@ -120,7 +132,7 @@ def decode_verdicts(msg: bytes) -> "list[Verdict]":
                 next_aid=next_aid if flags & _HAS_NEXT_AID else None,
             )
         )
-    return verdicts
+    return seq, verdicts
 
 
 def encode_revoke_ephid(ephid: bytes, exp_time: float) -> bytes:

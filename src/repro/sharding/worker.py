@@ -243,7 +243,7 @@ class ShardState:
     # -- message handlers --
 
     def handle_burst(self, msg: bytes) -> bytes:
-        now, frames, directions = wire.decode_burst(msg)
+        now, seq, frames, directions = wire.decode_burst(msg)
         self.clock.now = now
         packets = [
             ApnaPacket.from_wire(frame, with_nonce=self.spec.with_nonce)
@@ -254,7 +254,9 @@ class ShardState:
         verdicts = self.router.process_mixed_batch(
             packets, [d == wire.EGRESS for d in directions]
         )
-        return wire.encode_verdicts(verdicts)
+        # Echo the burst seq so the dispatcher can prove this reply
+        # answers the burst it is waiting on (duplicate/stale detection).
+        return wire.encode_verdicts(seq, verdicts)
 
     def handle_revoke_ephid(self, msg: bytes) -> None:
         ephid, exp_time = wire.decode_revoke_ephid(msg)

@@ -364,6 +364,8 @@ class World:
         self._by_aid: dict[int, ApnaAutonomousSystem] = {
             asys.aid: asys for asys in self.ases
         }
+        #: AS name -> bulk-registered HID range (populated by from_spec).
+        self._populations: dict[str, range] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -425,7 +427,9 @@ class World:
         # they ship with the workers' spawn snapshots instead of as
         # per-host control frames.
         for population in spec.populations:
-            by_name[population.at].register_population(population.hosts)
+            world._populations[population.at] = by_name[
+                population.at
+            ].register_population(population.hosts)
         network.compute_routes()
         if config.forwarding_shards >= 2:
             # Spawn each AS's persistent worker shards now that every
@@ -462,6 +466,18 @@ class World:
             return self._by_name[at]
         except KeyError:
             raise UnknownAsError(at, self._known_refs()) from None
+
+    def population(self, at: "str | int | ApnaAutonomousSystem") -> range:
+        """The bulk-registered HID range of an AS (empty when it has none).
+
+        Scenario drivers use this to synthesize traffic for population
+        hosts, which are database rows rather than attached host nodes.
+        """
+        asys = self.asys(at)
+        for name, candidate in self._by_name.items():
+            if candidate is asys:
+                return self._populations.get(name, range(0))
+        return range(0)
 
     def as_by_name(self, name: str) -> ApnaAutonomousSystem:
         return self.asys(name)

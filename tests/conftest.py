@@ -16,6 +16,7 @@ from repro.netsim import Network
 #: genuinely wedge (a worker stuck on a pipe the dispatcher never
 #: reads).  Everything else is pure in-process simulation.
 _WATCHDOG_FILES = (
+    "test_evaluation.py",
     "test_sharding.py",
     "test_sharding_equivalence.py",
     "test_sharding_faults.py",

@@ -221,10 +221,10 @@ class TestWireCodecs:
     def test_burst_roundtrip(self):
         frames = [b"\x01" * 48, b"\x02" * 56, b""]
         directions = [wire.EGRESS, wire.INGRESS, wire.EGRESS]
-        now, out_frames, out_dirs = wire.decode_burst(
-            wire.encode_burst(12.5, frames, directions)
+        now, seq, out_frames, out_dirs = wire.decode_burst(
+            wire.encode_burst(12.5, 41, frames, directions)
         )
-        assert (now, out_frames, out_dirs) == (12.5, frames, directions)
+        assert (now, seq, out_frames, out_dirs) == (12.5, 41, frames, directions)
 
     def test_verdict_roundtrip(self):
         verdicts = [
@@ -238,7 +238,12 @@ class TestWireCodecs:
             Verdict(Action.FORWARD_INTRA, hid=2**32 - 1),
             Verdict(Action.FORWARD_INTRA, hid=0),
         ]
-        assert wire.decode_verdicts(wire.encode_verdicts(verdicts)) == verdicts
+        # The echoed burst seq rides every verdict reply (duplicate and
+        # stale-reply detection); it must round-trip alongside.
+        assert wire.decode_verdicts(wire.encode_verdicts(7, verdicts)) == (
+            7,
+            verdicts,
+        )
 
     def test_control_roundtrips(self):
         ephid = bytes(range(16))

@@ -376,6 +376,36 @@ class TestFaultKindsIsolated:
         self._assert_recovered(outcomes, stats, expect_failures=False)
         assert plan.injected  # at least one delay actually fired
 
+    def test_dropped_reply_recovers(self):
+        """A reply lost in transit is exactly a timeout: the sub-burst
+        is dropped-and-counted, the worker restarted, and every later
+        delivered verdict matches the oracle again."""
+        plan = FaultPlan({(0, 1): "drop", (1, 1): "drop"})
+        outcomes, stats = self._run(plan)
+        self._assert_recovered(outcomes, stats, expect_failures=True)
+        assert stats["stale_replies"] == 0
+
+    def test_duplicate_reply_is_benign(self):
+        """Duplicate analogue of the delay false-positive bar: a reply
+        delivered twice costs nothing — the stale copy is discarded by
+        the seq check, with zero drops, zero restarts, and an exact
+        count of discards."""
+        plan = FaultPlan(
+            {(s, q): "duplicate" for s in (0, 1) for q in (1, 3)}
+        )
+        outcomes, stats = self._run(plan)
+        self._assert_recovered(outcomes, stats, expect_failures=False)
+        assert plan.injected  # at least one duplicate actually fired
+        # Every injected duplicate surfaced as exactly one discarded
+        # stale reply ahead of the same shard's next real reply...
+        injected = [entry for entry in plan.injected if entry[2] == "duplicate"]
+        # ...except duplicates of a shard's *final* burst, which stay
+        # "in the wire" forever (nothing later flushes them).  Faults on
+        # burst 1 always have later bursts, so all of those must flush.
+        flushed = [entry for entry in injected if entry[1] == 1]
+        assert len(flushed) <= stats["stale_replies"] <= len(injected)
+        assert stats["stale_replies"] > 0
+
 
 class TestDegradation:
     """Budget exhaustion must end in exact in-process service, not a wall

@@ -44,6 +44,7 @@ EXPECTED_RULES = {
     "pickle-free-wire",
     "wire-protocol-completeness",
     "silent-except",
+    "scenario-coverage",
 }
 
 
@@ -60,7 +61,7 @@ def findings_of(rule_name: str, source: str, rel: str):
 
 def test_all_rules_registered():
     assert EXPECTED_RULES <= set(RULES), sorted(RULES)
-    assert len(RULES) >= 7
+    assert len(RULES) >= 9
 
 
 def test_source_tree_has_no_new_findings():
@@ -354,6 +355,61 @@ def test_wire_protocol_detects_encoder_without_decoder():
         )
     )
     assert any("encode_odd has no matching decode_odd" in f.message for f in found)
+
+
+_FIXTURE_SCENARIOS = (
+    "def register(name, description=None):\n"
+    "    def deco(fn):\n"
+    "        return fn\n"
+    "    return deco\n"
+    "@register('fig1', description='two ASes')\n"
+    "def _fig1(arg):\n"
+    "    return None\n"
+    "@register('metro', description='metro:N')\n"
+    "def _metro(arg):\n"
+    "    return None\n"
+)
+
+
+def _scenario_project(tmp_path, test_source):
+    """An on-disk src/repro + tests tree, the shape the rule resolves."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "scenarios.py").write_text(_FIXTURE_SCENARIOS)
+    tests = tmp_path / "tests"
+    tests.mkdir()
+    (tests / "test_fixture.py").write_text(test_source)
+    return Project(root=pkg)
+
+
+def _coverage_findings(project):
+    return list(RULES["scenario-coverage"].check_project(project))
+
+
+def test_scenario_coverage_detects_unreferenced_preset(tmp_path):
+    # Only fig1 is exercised; metro (arg-taking or not) is never named.
+    found = _coverage_findings(
+        _scenario_project(tmp_path, "def test_world():\n    build('fig1')\n")
+    )
+    assert len(found) == 1
+    assert "metro" in found[0].message and "no test" in found[0].message
+
+
+def test_scenario_coverage_passes_when_all_presets_referenced(tmp_path):
+    # Both the bare form and the arg-taking "name:..." form count.
+    covered = (
+        "def test_world():\n"
+        "    build('fig1')\n"
+        "    build('metro:100k')\n"
+    )
+    assert not _coverage_findings(_scenario_project(tmp_path, covered))
+
+
+def test_scenario_coverage_silent_without_tests_dir():
+    # Synthetic in-memory projects have no tests tree — stay silent
+    # rather than flagging every preset.
+    project = Project(sources={"scenarios.py": _FIXTURE_SCENARIOS})
+    assert not _coverage_findings(project)
 
 
 def test_silent_except_detects_and_passes():
